@@ -1,0 +1,159 @@
+// Ablation: block-granularity I/O (the paper's Section 7 future work:
+// "generalize importance functions to disk blocks rather than individual
+// tuples"). The paper's cost model charges one unit per coefficient; real
+// storage reads blocks. We simulate the natural disk layout — needed
+// coefficients packed contiguously in key order, `block_size` per block —
+// and measure block reads for the biggest-B progression vs a key-ordered
+// scan across block sizes and buffer capacities, quantifying how much the
+// importance-ordered access pattern sacrifices locality.
+
+#include <set>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "core/block_progressive.h"
+#include "core/progressive.h"
+#include "penalty/sse.h"
+#include "storage/block_store.h"
+#include "storage/dense_store.h"
+#include "util/table.h"
+
+namespace wavebatch::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              "bench_ablation_blocks: block-level I/O ablation\n"
+              "  --budget_frac=0.25  fraction of master list to retrieve\n" +
+                  kCommonFlagsHelp);
+  TemperatureDatasetOptions options = DataOptionsFromFlags(flags);
+  options.lat_size = static_cast<uint32_t>(flags.Int("lat", 64));
+  options.lon_size = static_cast<uint32_t>(flags.Int("lon", 64));
+  options.num_records = static_cast<uint64_t>(flags.Int("records", 4000000));
+  const std::vector<size_t> parts = PartsFromFlags(flags);
+  const double budget_frac = flags.Double("budget_frac", 0.25);
+
+  Stopwatch total;
+  std::cout << "building experiment (domain "
+            << TemperatureSchema(options).ToString() << ")..." << std::endl;
+  Experiment exp(options, parts, 1234, WaveletKind::kDb4);
+
+  // Disk layout: the batch's coefficients packed contiguously in key order.
+  // Master-list entries are already key-sorted, so entry index == disk
+  // rank. Rebuild a rank-keyed master list and a rank-indexed store.
+  std::unordered_map<uint64_t, uint64_t> rank_of;
+  rank_of.reserve(exp.list.size());
+  std::vector<double> packed(exp.list.size());
+  std::vector<SparseVec> rank_queries(exp.workload.batch.size());
+  {
+    std::vector<std::vector<SparseEntry>> per_query(
+        exp.workload.batch.size());
+    for (uint64_t rank = 0; rank < exp.list.size(); ++rank) {
+      const MasterEntry& e = exp.list.entry(rank);
+      rank_of.emplace(e.key, rank);
+      packed[rank] = exp.store->Peek(e.key);
+      for (const auto& [query, coeff] : e.uses) {
+        per_query[query].push_back({rank, coeff});
+      }
+    }
+    for (size_t q = 0; q < per_query.size(); ++q) {
+      rank_queries[q] = SparseVec::FromSorted(std::move(per_query[q]));
+    }
+  }
+  MasterList rank_list = MasterList::FromQueryVectors(rank_queries);
+  const size_t budget = static_cast<size_t>(
+      budget_frac * static_cast<double>(rank_list.size()));
+
+  SsePenalty sse;
+  Table table({"block size", "cache blocks", "order", "coeff fetches",
+               "block reads", "hit rate"});
+  for (uint64_t block_size : {16, 64, 256}) {
+    for (uint64_t cache_blocks : {uint64_t{0}, uint64_t{64}}) {
+      for (ProgressionOrder order :
+           {ProgressionOrder::kBiggestB, ProgressionOrder::kKeyOrder}) {
+        BlockStore store(std::make_unique<DenseStore>(packed), block_size,
+                         cache_blocks);
+        ProgressiveEvaluator ev(&rank_list, &sse, &store, order);
+        ev.StepMany(budget);
+        const IoStats& stats = store.stats();
+        const double accesses =
+            static_cast<double>(stats.block_hits + stats.block_reads);
+        table.AddRow(
+            {std::to_string(block_size), std::to_string(cache_blocks),
+             order == ProgressionOrder::kBiggestB ? "biggest-B" : "key-order",
+             std::to_string(stats.retrievals),
+             std::to_string(stats.block_reads),
+             FormatDouble(accesses > 0 ? stats.block_hits / accesses : 0.0,
+                          3)});
+      }
+    }
+  }
+
+  std::cout << "\nBlock-level cost of retrieving " << budget << " of "
+            << rank_list.size()
+            << " coefficients (packed key-order layout):\n";
+  table.Print(std::cout);
+
+  // Part 2: block-granularity importance (the paper's proposed future
+  // work, implemented): error at matched *block-read* budgets for
+  // block-importance ordering vs coefficient-importance ordering.
+  const uint64_t cmp_block_size = 64;
+  auto block_of = [cmp_block_size](uint64_t rank) {
+    return rank / cmp_block_size;
+  };
+  double sse_norm = 0.0;
+  for (double e : exp.exact) sse_norm += e * e;
+  auto nsse = [&](const std::vector<double>& est) {
+    double acc = 0.0;
+    for (size_t i = 0; i < est.size(); ++i) {
+      const double err = est[i] - exp.exact[i];
+      acc += err * err;
+    }
+    return acc / sse_norm;
+  };
+  DenseStore block_store(packed);
+  DenseStore coeff_store(packed);
+  BlockProgressiveEvaluator by_block(&rank_list, &sse, &block_store,
+                                     block_of);
+  ProgressiveEvaluator by_coeff(&rank_list, &sse, &coeff_store);
+  std::set<uint64_t> coeff_blocks_touched;
+  Table error_table({"block reads", "nsse[block-importance]",
+                     "nsse[coeff-importance]", "coeff fetches (block/coeff)"});
+  for (uint64_t block_budget : {4, 16, 64, 256, 512}) {
+    if (block_budget > by_block.TotalBlocks()) break;
+    by_block.StepToBlocks(block_budget);
+    while (coeff_blocks_touched.size() < block_budget && !by_coeff.Done()) {
+      const size_t entry = by_coeff.Step();
+      coeff_blocks_touched.insert(block_of(rank_list.entry(entry).key));
+    }
+    error_table.AddRow(
+        {std::to_string(block_budget),
+         FormatDouble(nsse(by_block.Estimates())),
+         FormatDouble(nsse(by_coeff.Estimates())),
+         std::to_string(by_block.CoefficientsFetched()) + " / " +
+             std::to_string(by_coeff.StepsTaken())});
+  }
+  std::cout << "\nError at matched block-read budgets (block size "
+            << cmp_block_size << "):\n";
+  error_table.Print(std::cout);
+  std::cout << "expected shape: when I/O is charged per block, aggregating "
+               "importance to block granularity reads more useful "
+               "coefficients per block and dominates the per-coefficient "
+               "ordering.\n";
+  std::cout << "expected shape: key-order scans read each block once; "
+               "biggest-B jumps across the layout, so with a small buffer "
+               "it re-reads blocks and its advantage must be weighed "
+               "against per-coefficient savings — the open problem the "
+               "paper's conclusion poses.\n";
+  std::cout << "elapsed: " << FormatDouble(total.ElapsedSeconds(), 3)
+            << "s\n";
+
+  const std::string csv = flags.Str("csv", "");
+  if (!csv.empty() && !table.WriteCsv(csv)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace wavebatch::bench
+
+int main(int argc, char** argv) { return wavebatch::bench::Main(argc, argv); }

@@ -1,0 +1,127 @@
+// The paper's central argument (Section 1.1): approximate the *query*,
+// not the *data*. This harness pits Batch-Biggest-B against the two
+// baseline families the related-work section discusses, at matched
+// "information read" budgets on the standard 512-range workload:
+//
+//   data approximation  — a precomputed synopsis of the C largest data
+//                         wavelet coefficients [1, 17]; answers are fixed
+//                         once the synopsis is built and cannot adapt to a
+//                         query-time penalty function;
+//   online aggregation  — random-order tuple scans with scaled running
+//                         estimates [7]; exact only after the full scan.
+//
+// For each budget the table reports the mean relative error of:
+//   progressive Batch-Biggest-B after B coefficient retrievals,
+//   the C=B-coefficient synopsis answering the whole batch,
+//   online aggregation after scanning B·(records/master-list) tuples
+//   (scaling tuple budgets so the final rows are full-scan / full-list).
+
+#include <cmath>
+
+#include "baselines/compressed_view.h"
+#include "baselines/online_aggregation.h"
+#include "bench_common.h"
+#include "core/progressive.h"
+#include "penalty/sse.h"
+#include "util/table.h"
+
+namespace wavebatch::bench {
+namespace {
+
+double Mre(const std::vector<double>& estimates,
+           const std::vector<double>& exact) {
+  double acc = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] == 0.0) continue;
+    acc += std::abs(estimates[i] - exact[i]) / std::abs(exact[i]);
+    ++counted;
+  }
+  return counted ? acc / counted : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              "bench_baselines: Batch-Biggest-B vs data-approximation and "
+              "online aggregation\n" +
+                  kCommonFlagsHelp);
+  TemperatureDatasetOptions options = DataOptionsFromFlags(flags);
+  // Keep the domain moderate: the synopsis baseline rebuilds a compressed
+  // view per budget.
+  options.lat_size = static_cast<uint32_t>(flags.Int("lat", 64));
+  options.lon_size = static_cast<uint32_t>(flags.Int("lon", 64));
+  options.num_records = static_cast<uint64_t>(flags.Int("records", 4000000));
+  const std::vector<size_t> parts = PartsFromFlags(flags);
+
+  Stopwatch total;
+  std::cout << "building experiment (domain "
+            << TemperatureSchema(options).ToString() << ", "
+            << options.num_records << " records)..." << std::endl;
+  Experiment exp(options, parts, 1234, WaveletKind::kDb4);
+
+  SsePenalty sse;
+  ProgressiveEvaluator progressive(&exp.list, &sse, exp.store.get());
+
+  // Online aggregation re-streams the (i.i.d.) generator as the random
+  // tuple order; budgets scale so both methods end "complete" together.
+  OnlineAggregator online(&exp.workload.batch, options.num_records);
+  const double tuples_per_coefficient =
+      static_cast<double>(options.num_records) /
+      static_cast<double>(exp.list.size());
+  uint64_t tuples_consumed = 0;
+  std::vector<Tuple> buffered;  // consumed lazily from the stream below
+  buffered.reserve(1 << 16);
+  uint64_t stream_pos = 0;
+  StreamTemperatureRecords(options, [&](const Tuple& t) {
+    buffered.push_back(t);
+  });
+
+  Table table({"budget B", "biggest-B MRE", "synopsis(C=B) MRE",
+               "online agg MRE", "tuples scanned"});
+  for (double frac : {0.001, 0.004, 0.016, 0.0625, 0.25, 1.0}) {
+    const uint64_t budget = std::max<uint64_t>(
+        1, static_cast<uint64_t>(frac * static_cast<double>(exp.list.size())));
+    // 1. Progressive query approximation.
+    progressive.StepMany(budget - progressive.StepsTaken());
+    const double mre_progressive = Mre(progressive.Estimates(), exp.exact);
+    // 2. Data approximation: a fresh C-coefficient synopsis of Δ̂.
+    auto synopsis = CompressTopCoefficients(*exp.store, budget);
+    ExactBatchResult against_synopsis = EvaluateShared(exp.list, *synopsis);
+    const double mre_synopsis = Mre(against_synopsis.results, exp.exact);
+    // 3. Online aggregation at the scaled tuple budget.
+    const uint64_t tuple_budget = std::min<uint64_t>(
+        options.num_records,
+        static_cast<uint64_t>(tuples_per_coefficient *
+                              static_cast<double>(budget)));
+    while (tuples_consumed < tuple_budget && stream_pos < buffered.size()) {
+      online.Observe(buffered[stream_pos++]);
+      ++tuples_consumed;
+    }
+    const double mre_online = Mre(online.Estimates(), exp.exact);
+
+    table.AddRow({std::to_string(budget), FormatDouble(mre_progressive, 4),
+                  FormatDouble(mre_synopsis, 4),
+                  FormatDouble(mre_online, 4),
+                  std::to_string(tuples_consumed)});
+  }
+
+  std::cout << "\nQuery approximation (Batch-Biggest-B) vs data "
+               "approximation vs online aggregation:\n";
+  table.Print(std::cout);
+  std::cout << "expected shape: biggest-B reaches exactness at the full "
+               "master list; the synopsis needs C ≫ the master list for "
+               "comparable accuracy on data without sparse wavelet decay; "
+               "online aggregation improves as 1/sqrt(scanned) and is "
+               "exact only at the full scan.\n";
+  std::cout << "elapsed: " << FormatDouble(total.ElapsedSeconds(), 3)
+            << "s\n";
+
+  const std::string csv = flags.Str("csv", "");
+  if (!csv.empty() && !table.WriteCsv(csv)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace wavebatch::bench
+
+int main(int argc, char** argv) { return wavebatch::bench::Main(argc, argv); }

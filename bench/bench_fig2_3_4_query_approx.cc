@@ -1,0 +1,141 @@
+// Figures 2–4 (Section 3.1): progressive approximation of a typical
+// degree-1 polynomial range-sum query vector with Db4 wavelets.
+//
+// The paper plots q[x1, x2] = x1·χ_R(x1, x2) with R = {55 ≤ x1 ≤ 127,
+// 25 ≤ x2 ≤ 40} on a 128×128 domain, reconstructed from its 25 biggest
+// wavelets (Fig 2: rough shape, range boundaries inexact, periodic
+// spillover), 150 biggest (Fig 3: sharp boundaries, Gibbs ringing), and
+// all ≈837 nonzeros (Fig 4: exact). This harness reproduces the numbers
+// behind those pictures: nonzero count, reconstruction error norms, and
+// boundary/interior error split per B, and optionally dumps the
+// reconstructed surfaces as CSV grids for plotting.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "bench_common.h"
+#include "query/range_sum.h"
+#include "util/table.h"
+#include "wavelet/dwt_nd.h"
+
+namespace wavebatch::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              "bench_fig2_3_4_query_approx: reproduce Figures 2-4\n"
+              "  --n=128     domain side (power of two)\n"
+              "  --surface_csv=prefix  dump reconstructed surfaces\n"
+              "  --csv=path  error table CSV\n");
+  const uint32_t n = static_cast<uint32_t>(flags.Int("n", 128));
+
+  Result<Schema> schema =
+      Schema::Create({{"x1", n}, {"x2", n}});
+  if (!schema.ok()) {
+    std::cerr << schema.status() << std::endl;
+    return 1;
+  }
+  // The paper's "total salary paid to employees between age 25 and 40 who
+  // make at least 55K" query: weight x1 on R = [55, n-1] x [25, 40].
+  Result<Range> range = Range::Create(
+      *schema, {{55, n - 1}, {25, 40}});
+  if (!range.ok()) {
+    std::cerr << range.status() << std::endl;
+    return 1;
+  }
+  RangeSumQuery query = RangeSumQuery::Sum(*range, 0);
+  DenseCube exact = query.ToDenseVector(*schema);
+
+  // Full wavelet transform of the query vector, then order coefficients by
+  // magnitude (the single-query SSE biggest-B order).
+  const WaveletFilter& filter = WaveletFilter::Get(WaveletKind::kDb4);
+  DenseCube transformed = exact;
+  ForwardDwtNd(transformed, filter);
+  std::vector<std::pair<double, uint64_t>> coeffs;
+  const double max_abs = [&] {
+    double m = 0.0;
+    for (uint64_t i = 0; i < transformed.size(); ++i) {
+      m = std::max(m, std::abs(transformed[i]));
+    }
+    return m;
+  }();
+  for (uint64_t i = 0; i < transformed.size(); ++i) {
+    if (std::abs(transformed[i]) > max_abs * 1e-12) {
+      coeffs.emplace_back(std::abs(transformed[i]), i);
+    }
+  }
+  std::sort(coeffs.rbegin(), coeffs.rend());
+  std::cout << "query vector: " << query.poly().ToString() << " on "
+            << range->ToString() << "\n";
+  std::cout << "nonzero Db4 coefficients: " << coeffs.size()
+            << "  (paper: ~837 on its 128x128 example)\n\n";
+
+  const double exact_l2 = std::sqrt(exact.SumSquares());
+  Table table({"B (wavelets)", "L2 error", "relative L2", "Linf error",
+               "boundary Linf", "interior Linf"});
+
+  std::vector<uint64_t> bs = {25, 150, coeffs.size()};
+  for (uint64_t b : bs) {
+    b = std::min<uint64_t>(b, coeffs.size());
+    DenseCube truncated(*schema);
+    for (uint64_t i = 0; i < b; ++i) {
+      truncated[coeffs[i].second] = transformed[coeffs[i].second];
+    }
+    InverseDwtNd(truncated, filter);
+    // Error metrics, split into range-boundary band vs elsewhere (the Gibbs
+    // phenomenon lives on the boundary).
+    double sse = 0.0, linf = 0.0, boundary_linf = 0.0, interior_linf = 0.0;
+    for (uint32_t x1 = 0; x1 < n; ++x1) {
+      for (uint32_t x2 = 0; x2 < n; ++x2) {
+        std::vector<uint32_t> c = {x1, x2};
+        const double err =
+            std::abs(truncated.at(c) - exact.at(c));
+        sse += err * err;
+        linf = std::max(linf, err);
+        const bool near_boundary =
+            (std::abs(static_cast<int>(x1) - 55) <= 2) ||
+            (std::abs(static_cast<int>(x2) - 25) <= 2) ||
+            (std::abs(static_cast<int>(x2) - 40) <= 2) ||
+            x1 >= n - 3 || x1 <= 2;  // periodic wrap of the x1 edge
+        if (near_boundary) {
+          boundary_linf = std::max(boundary_linf, err);
+        } else {
+          interior_linf = std::max(interior_linf, err);
+        }
+      }
+    }
+    table.AddRow({std::to_string(b), FormatDouble(std::sqrt(sse), 5),
+                  FormatDouble(std::sqrt(sse) / exact_l2, 5),
+                  FormatDouble(linf, 5), FormatDouble(boundary_linf, 5),
+                  FormatDouble(interior_linf, 5)});
+
+    const std::string prefix = flags.Str("surface_csv", "");
+    if (!prefix.empty()) {
+      std::ofstream out(prefix + "_B" + std::to_string(b) + ".csv");
+      for (uint32_t x1 = 0; x1 < n; ++x1) {
+        for (uint32_t x2 = 0; x2 < n; ++x2) {
+          if (x2) out << ',';
+          out << truncated.at(std::vector<uint32_t>{x1, x2});
+        }
+        out << '\n';
+      }
+    }
+  }
+
+  std::cout << "B-term reconstructions of the query vector "
+               "(Fig 2: B=25, Fig 3: B=150, Fig 4: all)\n";
+  table.Print(std::cout);
+  std::cout << "expected shape: interior error collapses quickly; the "
+               "residual Linf concentrates on range boundaries (Gibbs) and "
+               "the periodic wrap, matching the paper's plots.\n";
+
+  const std::string csv = flags.Str("csv", "");
+  if (!csv.empty() && !table.WriteCsv(csv)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace wavebatch::bench
+
+int main(int argc, char** argv) { return wavebatch::bench::Main(argc, argv); }

@@ -1,0 +1,225 @@
+// Micro-benchmarks for the paper's complexity claims (google-benchmark):
+//   - tuple insertion into the wavelet view: O((2δ+2)^d log^d N)
+//   - query-vector rewrite: O((4δ+2)^d log^d N)
+//   - prefix-sum update: O(N^d) worst case (the inverse trade-off)
+//   - 1-D and d-dim DWT throughput
+//   - progressive step cost (heap pop + fetch + estimate updates)
+
+#include <benchmark/benchmark.h>
+
+#include "core/master_list.h"
+#include "core/progressive.h"
+#include "data/generators.h"
+#include "data/workloads.h"
+#include "penalty/sse.h"
+#include "storage/dense_store.h"
+#include "storage/memory_store.h"
+#include "strategy/prefix_sum_strategy.h"
+#include "strategy/wavelet_strategy.h"
+#include "util/random.h"
+#include "wavelet/dwt1d.h"
+#include "wavelet/lazy_query_transform.h"
+#include "wavelet/query_transform.h"
+#include "wavelet/dwt_nd.h"
+
+namespace wavebatch {
+namespace {
+
+WaveletKind KindForIndex(int64_t i) {
+  switch (i) {
+    case 0:
+      return WaveletKind::kHaar;
+    case 1:
+      return WaveletKind::kDb4;
+    case 2:
+      return WaveletKind::kDb6;
+    default:
+      return WaveletKind::kDb8;
+  }
+}
+
+void BM_Dwt1D(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const WaveletFilter& filter = WaveletFilter::Get(KindForIndex(state.range(1)));
+  Rng rng(7);
+  std::vector<double> data(n);
+  for (double& v : data) v = rng.Gaussian();
+  for (auto _ : state) {
+    std::vector<double> copy = data;
+    ForwardDwt1D(copy, filter);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dwt1D)
+    ->ArgsProduct({{1024, 65536}, {0, 1, 3}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DwtNd(benchmark::State& state) {
+  Schema schema = Schema::Uniform(static_cast<size_t>(state.range(0)), 32);
+  const WaveletFilter& filter = WaveletFilter::Get(WaveletKind::kDb4);
+  Rng rng(9);
+  DenseCube cube(schema);
+  for (uint64_t i = 0; i < cube.size(); ++i) cube[i] = rng.Gaussian();
+  for (auto _ : state) {
+    DenseCube copy = cube;
+    ForwardDwtNd(copy, filter);
+    benchmark::DoNotOptimize(copy.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * cube.size());
+}
+BENCHMARK(BM_DwtNd)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_TupleInsert(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const WaveletFilter& filter = WaveletFilter::Get(KindForIndex(state.range(2)));
+  Schema schema = Schema::Uniform(d, n);
+  WaveletStrategy strategy(schema, filter.kind());
+  HashStore store;
+  Rng rng(11);
+  Tuple t(d);
+  for (auto _ : state) {
+    for (size_t i = 0; i < d; ++i) {
+      t[i] = static_cast<uint32_t>(rng.UniformInt(n));
+    }
+    benchmark::DoNotOptimize(strategy.InsertTuple(store, t, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleInsert)
+    ->ArgsProduct({{2, 3}, {64, 1024}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PrefixSumInsert(benchmark::State& state) {
+  // The O(N^d) update that motivates wavelets for dynamic data.
+  const size_t d = static_cast<size_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  Schema schema = Schema::Uniform(d, n);
+  PrefixSumStrategy strategy(schema,
+                             {std::vector<uint32_t>(d, 0)});
+  DenseStore store(schema.cell_count());
+  Rng rng(13);
+  Tuple t(d);
+  for (auto _ : state) {
+    for (size_t i = 0; i < d; ++i) {
+      t[i] = static_cast<uint32_t>(rng.UniformInt(n));
+    }
+    benchmark::DoNotOptimize(strategy.InsertTuple(store, t, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixSumInsert)
+    ->ArgsProduct({{2, 3}, {64}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QueryTransform(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const uint32_t degree = static_cast<uint32_t>(state.range(2));
+  Schema schema = Schema::Uniform(d, n);
+  WaveletStrategy strategy(schema, WaveletFilter::ForDegree(degree).kind());
+  Rng rng(17);
+  std::vector<RangeSumQuery> queries;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<Interval> ivs;
+    for (size_t dim = 0; dim < d; ++dim) {
+      uint32_t lo = static_cast<uint32_t>(rng.UniformInt(n));
+      uint32_t hi = lo + static_cast<uint32_t>(rng.UniformInt(n - lo));
+      ivs.push_back({lo, hi});
+    }
+    Range range = Range::Create(schema, ivs).value();
+    queries.push_back(degree == 0 ? RangeSumQuery::Count(range)
+                                  : RangeSumQuery::Sum(range, 0));
+  }
+  size_t qi = 0;
+  for (auto _ : state) {
+    Result<SparseVec> coeffs =
+        strategy.TransformQuery(queries[qi++ % queries.size()]);
+    benchmark::DoNotOptimize(coeffs.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryTransform)
+    ->ArgsProduct({{2, 3}, {64, 1024}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LazyVsDense1DTransform(benchmark::State& state) {
+  // The lazy pruned cascade vs the O(n) dense transform, per dimension.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const bool lazy = state.range(1) != 0;
+  const WaveletFilter& filter = WaveletFilter::Get(WaveletKind::kDb4);
+  const uint32_t lo = static_cast<uint32_t>(n / 7);
+  const uint32_t hi = static_cast<uint32_t>(n - n / 5);
+  for (auto _ : state) {
+    if (lazy) {
+      benchmark::DoNotOptimize(
+          LazyRangeMonomialDwt1D(n, lo, hi, 1, filter));
+    } else {
+      benchmark::DoNotOptimize(
+          SparseRangeMonomialDwt1D(n, lo, hi, 1, filter));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LazyVsDense1DTransform)
+    ->ArgsProduct({{1024, 65536, 1 << 20}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ProgressiveStep(benchmark::State& state) {
+  // Cost of one Batch-Biggest-B step on the standard workload shape.
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 200000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const std::vector<size_t> parts = {8, 8, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  auto store = strategy.BuildStore(cube);
+  MasterList list = MasterList::Build(w.batch, strategy).value();
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&list, &sse, store.get());
+  for (auto _ : state) {
+    if (ev.Done()) {
+      state.PauseTiming();
+      ev = ProgressiveEvaluator(&list, &sse, store.get());
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(ev.Step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgressiveStep)->Unit(benchmark::kNanosecond);
+
+void BM_MasterListBuild(benchmark::State& state) {
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 100000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const size_t grid = static_cast<size_t>(state.range(0));
+  const std::vector<size_t> parts = {grid, grid, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  for (auto _ : state) {
+    Result<MasterList> list = MasterList::Build(w.batch, strategy);
+    benchmark::DoNotOptimize(list.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * w.batch.size());
+}
+BENCHMARK(BM_MasterListBuild)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wavebatch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#include "baselines/compressed_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace wavebatch {
+
+std::unique_ptr<HashStore> CompressTopCoefficients(
+    const CoefficientStore& store, uint64_t keep) {
+  // Min-heap of the `keep` largest |value| seen so far: O(total·log keep)
+  // without materializing all coefficients sorted.
+  using Item = std::pair<double, std::pair<uint64_t, double>>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  store.ForEachNonZero([&](uint64_t key, double value) {
+    const double magnitude = std::abs(value);
+    if (heap.size() < keep) {
+      heap.push({magnitude, {key, value}});
+    } else if (keep > 0 && magnitude > heap.top().first) {
+      heap.pop();
+      heap.push({magnitude, {key, value}});
+    }
+  });
+  auto out = std::make_unique<HashStore>();
+  while (!heap.empty()) {
+    out->Add(heap.top().second.first, heap.top().second.second);
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace wavebatch

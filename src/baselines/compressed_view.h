@@ -1,0 +1,25 @@
+#ifndef WAVEBATCH_BASELINES_COMPRESSED_VIEW_H_
+#define WAVEBATCH_BASELINES_COMPRESSED_VIEW_H_
+
+#include <memory>
+
+#include "storage/memory_store.h"
+
+namespace wavebatch {
+
+/// The *data-approximation* alternative the paper argues against
+/// (Chakrabarti et al. [1], Vitter & Wang [17]): keep only the C
+/// largest-magnitude coefficients of the transformed data as a
+/// precomputed synopsis and answer every query against it. The synopsis
+/// is tuned once, offline; it cannot adapt to a penalty function supplied
+/// at query time — the contrast bench_baselines measures against
+/// Batch-Biggest-B's query-side approximation.
+///
+/// Returns a HashStore holding the `keep` entries of `store` with the
+/// largest |value| (all entries if `keep` >= NumNonZero()).
+std::unique_ptr<HashStore> CompressTopCoefficients(
+    const CoefficientStore& store, uint64_t keep);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_BASELINES_COMPRESSED_VIEW_H_

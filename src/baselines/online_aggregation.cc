@@ -1,0 +1,37 @@
+#include "baselines/online_aggregation.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+OnlineAggregator::OnlineAggregator(const QueryBatch* batch,
+                                   uint64_t total_tuples)
+    : batch_(batch),
+      total_tuples_(total_tuples),
+      partial_sums_(batch->size(), 0.0) {
+  WB_CHECK(batch_ != nullptr);
+  WB_CHECK_GT(total_tuples_, 0u);
+}
+
+void OnlineAggregator::Observe(const Tuple& tuple) {
+  ++tuples_seen_;
+  for (size_t i = 0; i < batch_->size(); ++i) {
+    const RangeSumQuery& q = batch_->query(i);
+    if (q.range().Contains(tuple)) {
+      partial_sums_[i] += q.poly().Evaluate(tuple);
+    }
+  }
+}
+
+std::vector<double> OnlineAggregator::Estimates() const {
+  std::vector<double> out(partial_sums_.size(), 0.0);
+  if (tuples_seen_ == 0) return out;
+  const double scale = static_cast<double>(total_tuples_) /
+                       static_cast<double>(tuples_seen_);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = partial_sums_[i] * scale;
+  }
+  return out;
+}
+
+}  // namespace wavebatch

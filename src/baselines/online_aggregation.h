@@ -1,0 +1,42 @@
+#ifndef WAVEBATCH_BASELINES_ONLINE_AGGREGATION_H_
+#define WAVEBATCH_BASELINES_ONLINE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/batch.h"
+
+namespace wavebatch {
+
+/// The online-aggregation baseline (Hellerstein, Haas & Wang [7],
+/// discussed in the paper's related work): scan tuples in random order and
+/// maintain scaled running estimates for every query in the batch. The
+/// estimates are unbiased and shareable across the batch, but — the
+/// paper's point — "the entire relation must be viewed before results
+/// become exact", whereas the wavelet view is exact after the (much
+/// smaller) master list.
+class OnlineAggregator {
+ public:
+  /// `total_tuples` is the known relation cardinality used for scaling.
+  OnlineAggregator(const QueryBatch* batch, uint64_t total_tuples);
+
+  /// Accounts one scanned tuple (tuples must arrive in random order for
+  /// the estimates to be unbiased; i.i.d. generated data qualifies).
+  void Observe(const Tuple& tuple);
+
+  uint64_t tuples_seen() const { return tuples_seen_; }
+
+  /// Current estimates: (total/seen) × partial sums; zeros before any
+  /// observation.
+  std::vector<double> Estimates() const;
+
+ private:
+  const QueryBatch* batch_;
+  uint64_t total_tuples_;
+  uint64_t tuples_seen_ = 0;
+  std::vector<double> partial_sums_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_BASELINES_ONLINE_AGGREGATION_H_

@@ -1,0 +1,70 @@
+#ifndef WAVEBATCH_CORE_BLOCK_PROGRESSIVE_H_
+#define WAVEBATCH_CORE_BLOCK_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/master_list.h"
+#include "penalty/penalty.h"
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Block-granularity Batch-Biggest-B — the generalization the paper's
+/// conclusion calls for ("generalize importance functions to disk blocks
+/// rather than individual tuples"). Master-list entries are grouped by a
+/// caller-supplied key→block mapping; a block's importance is the *sum* of
+/// its member importances (additive in Theorem 2's expected-penalty sum,
+/// so greedy-by-total-importance minimizes the expected penalty among all
+/// progressions that fetch whole blocks); each step fetches one block —
+/// every needed coefficient on it — and advances all affected estimates.
+class BlockProgressiveEvaluator {
+ public:
+  /// `list`, `penalty`, `store` must outlive the evaluator. `block_of`
+  /// maps coefficient keys to block ids (e.g. rank/block_size for a packed
+  /// layout, or key/block_size for an array layout).
+  BlockProgressiveEvaluator(const MasterList* list,
+                            const PenaltyFunction* penalty,
+                            CoefficientStore* store,
+                            const std::function<uint64_t(uint64_t)>& block_of);
+
+  size_t TotalBlocks() const { return blocks_.size(); }
+  uint64_t BlocksFetched() const { return blocks_fetched_; }
+  uint64_t CoefficientsFetched() const { return coefficients_fetched_; }
+  bool Done() const { return blocks_fetched_ == blocks_.size(); }
+
+  /// Fetches the most important unfetched block; returns the number of
+  /// coefficients it contributed. Requires !Done().
+  size_t StepBlock();
+
+  /// Fetches blocks until `n` blocks have been consumed in total (stops at
+  /// completion).
+  void StepToBlocks(uint64_t n);
+
+  const std::vector<double>& Estimates() const { return estimates_; }
+
+  /// Total importance of the next block to be fetched (0 when done).
+  double NextBlockImportance() const;
+
+ private:
+  struct Block {
+    uint64_t id;
+    double importance = 0.0;
+    std::vector<size_t> entries;  // master-list entry indices
+  };
+
+  const MasterList* list_;
+  CoefficientStore* store_;
+  std::vector<Block> blocks_;
+  std::vector<double> estimates_;
+  uint64_t blocks_fetched_ = 0;
+  uint64_t coefficients_fetched_ = 0;
+  // Max-heap of (importance, block index).
+  std::priority_queue<std::pair<double, size_t>> heap_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CORE_BLOCK_PROGRESSIVE_H_

@@ -1,0 +1,52 @@
+#include "core/bounded_workspace.h"
+
+#include <algorithm>
+
+#include "core/exact.h"
+#include "util/check.h"
+
+namespace wavebatch {
+
+BoundedWorkspaceResult EvaluateWithBoundedWorkspace(
+    const QueryBatch& batch, const LinearStrategy& strategy,
+    CoefficientStore& store, uint64_t max_workspace_coefficients) {
+  WB_CHECK_GT(max_workspace_coefficients, 0u);
+  BoundedWorkspaceResult out;
+  out.results.resize(batch.size(), 0.0);
+
+  std::vector<SparseVec> group;           // materialized coefficient lists
+  std::vector<size_t> group_members;      // their batch indices
+  uint64_t group_coefficients = 0;
+
+  auto flush = [&] {
+    if (group.empty()) return;
+    MasterList list = MasterList::FromQueryVectors(group);
+    ExactBatchResult res = EvaluateShared(list, store);
+    for (size_t g = 0; g < group_members.size(); ++g) {
+      out.results[group_members[g]] = res.results[g];
+    }
+    out.retrievals += res.retrievals;
+    out.peak_workspace = std::max(out.peak_workspace, group_coefficients);
+    ++out.num_groups;
+    group.clear();
+    group_members.clear();
+    group_coefficients = 0;
+  };
+
+  for (size_t qi = 0; qi < batch.size(); ++qi) {
+    Result<SparseVec> coeffs = strategy.TransformQuery(batch.query(qi));
+    WB_CHECK(coeffs.ok()) << coeffs.status();
+    const uint64_t nnz = coeffs->size();
+    if (!group.empty() &&
+        group_coefficients + nnz > max_workspace_coefficients) {
+      flush();
+    }
+    group_coefficients += nnz;
+    group.push_back(std::move(coeffs).value());
+    group_members.push_back(qi);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace wavebatch

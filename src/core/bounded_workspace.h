@@ -1,0 +1,45 @@
+#ifndef WAVEBATCH_CORE_BOUNDED_WORKSPACE_H_
+#define WAVEBATCH_CORE_BOUNDED_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/master_list.h"
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Result of a workspace-bounded exact batch evaluation.
+struct BoundedWorkspaceResult {
+  std::vector<double> results;
+  /// Total coefficient retrievals (between the fully-shared master-list
+  /// size and the naive per-query total).
+  uint64_t retrievals = 0;
+  /// Largest number of query coefficients materialized at any moment.
+  uint64_t peak_workspace = 0;
+  /// Number of query groups the batch was split into.
+  size_t num_groups = 0;
+};
+
+/// Exact batch evaluation under a workspace budget — the paper's Section
+/// 2.2 concern: the shared algorithm wants *all* nonzero query
+/// coefficients in memory at once, which for huge batches may be
+/// undesirable ("it is of practical interest to avoid simultaneous
+/// materialization of all of the query coefficients").
+///
+/// Queries are processed in greedy groups: each group's coefficient lists
+/// are materialized, merged, evaluated with full sharing, and discarded
+/// before the next group starts. `max_workspace_coefficients` bounds the
+/// materialized coefficients per group (a single query whose list exceeds
+/// the budget gets a group of its own — exactness is never sacrificed).
+/// Smaller budgets trade more repeated retrievals for less memory; an
+/// unbounded budget reproduces EvaluateShared exactly, a budget of one
+/// query reproduces EvaluateNaive. bench_ablation_workspace maps the
+/// trade-off curve.
+BoundedWorkspaceResult EvaluateWithBoundedWorkspace(
+    const QueryBatch& batch, const LinearStrategy& strategy,
+    CoefficientStore& store, uint64_t max_workspace_coefficients);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CORE_BOUNDED_WORKSPACE_H_

@@ -1,0 +1,38 @@
+#include "core/exact.h"
+
+namespace wavebatch {
+
+ExactBatchResult EvaluateNaive(
+    const std::vector<SparseVec>& query_coefficients,
+    CoefficientStore& store) {
+  ExactBatchResult out;
+  out.results.resize(query_coefficients.size(), 0.0);
+  const uint64_t before = store.stats().retrievals;
+  for (size_t qi = 0; qi < query_coefficients.size(); ++qi) {
+    double acc = 0.0;
+    for (const SparseEntry& e : query_coefficients[qi]) {
+      acc += e.value * store.Fetch(e.key);
+    }
+    out.results[qi] = acc;
+  }
+  out.retrievals = store.stats().retrievals - before;
+  return out;
+}
+
+ExactBatchResult EvaluateShared(const MasterList& list,
+                                CoefficientStore& store) {
+  ExactBatchResult out;
+  out.results.resize(list.num_queries(), 0.0);
+  const uint64_t before = store.stats().retrievals;
+  for (const MasterEntry& entry : list.entries()) {
+    const double data = store.Fetch(entry.key);
+    if (data == 0.0) continue;
+    for (const auto& [query, coeff] : entry.uses) {
+      out.results[query] += coeff * data;
+    }
+  }
+  out.retrievals = store.stats().retrievals - before;
+  return out;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,34 @@
+#ifndef WAVEBATCH_CORE_EXACT_H_
+#define WAVEBATCH_CORE_EXACT_H_
+
+#include <vector>
+
+#include "core/master_list.h"
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Results of an exact batch evaluation plus its I/O cost under the
+/// paper's one-retrieval-per-coefficient model.
+struct ExactBatchResult {
+  std::vector<double> results;
+  uint64_t retrievals = 0;
+};
+
+/// The naive baseline: evaluates every query independently with its own
+/// coefficient list — the "s instances of the single-query technique"
+/// straw-man of Section 2.2. A coefficient needed by k queries is fetched
+/// k times.
+ExactBatchResult EvaluateNaive(
+    const std::vector<SparseVec>& query_coefficients,
+    CoefficientStore& store);
+
+/// The I/O-shared exact algorithm (Batch-Biggest-B run to completion in
+/// arbitrary order): iterates the master list, fetching each needed
+/// coefficient exactly once and advancing every query that uses it.
+ExactBatchResult EvaluateShared(const MasterList& list,
+                                CoefficientStore& store);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CORE_EXACT_H_

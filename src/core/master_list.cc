@@ -1,0 +1,67 @@
+#include "core/master_list.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+Result<MasterList> MasterList::Build(const QueryBatch& batch,
+                                     const LinearStrategy& strategy) {
+  std::vector<SparseVec> query_coefficients;
+  query_coefficients.reserve(batch.size());
+  for (const RangeSumQuery& q : batch.queries()) {
+    Result<SparseVec> r = strategy.TransformQuery(q);
+    if (!r.ok()) return r.status();
+    query_coefficients.push_back(std::move(r).value());
+  }
+  return FromQueryVectors(query_coefficients);
+}
+
+MasterList MasterList::FromQueryVectors(
+    const std::vector<SparseVec>& query_coefficients) {
+  MasterList list;
+  list.num_queries_ = query_coefficients.size();
+  list.per_query_coefficients_.reserve(query_coefficients.size());
+
+  // Flatten to (key, query, value) triples and sort by (key, query).
+  struct Triple {
+    uint64_t key;
+    uint32_t query;
+    double value;
+  };
+  std::vector<Triple> triples;
+  uint64_t total = 0;
+  for (uint32_t qi = 0; qi < query_coefficients.size(); ++qi) {
+    const SparseVec& v = query_coefficients[qi];
+    list.per_query_coefficients_.push_back(v.size());
+    total += v.size();
+  }
+  triples.reserve(total);
+  for (uint32_t qi = 0; qi < query_coefficients.size(); ++qi) {
+    for (const SparseEntry& e : query_coefficients[qi]) {
+      triples.push_back({e.key, qi, e.value});
+    }
+  }
+  list.total_coefficients_ = total;
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple& a, const Triple& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.query < b.query;
+            });
+  for (const Triple& t : triples) {
+    if (list.entries_.empty() || list.entries_.back().key != t.key) {
+      list.entries_.push_back({t.key, {}});
+    }
+    list.entries_.back().uses.emplace_back(t.query, t.value);
+  }
+  return list;
+}
+
+size_t MasterList::MaxSharing() const {
+  size_t m = 0;
+  for (const MasterEntry& e : entries_) m = std::max(m, e.uses.size());
+  return m;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,67 @@
+#ifndef WAVEBATCH_CORE_MASTER_LIST_H_
+#define WAVEBATCH_CORE_MASTER_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/batch.h"
+#include "strategy/linear_strategy.h"
+#include "util/status.h"
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// One storage coefficient needed by the batch, together with every query
+/// that uses it and that query's coefficient there — the unit of I/O
+/// sharing (Section 2.2): fetching this key once advances every query in
+/// `uses`.
+struct MasterEntry {
+  uint64_t key;
+  /// (query index, q̂_i[key]) pairs, ascending by query index.
+  std::vector<std::pair<uint32_t, double>> uses;
+};
+
+/// The merged master list of Batch-Biggest-B steps 2–3: per-query sparse
+/// coefficient lists merged by key. Its size is the exact shared I/O cost
+/// of the batch; the sum of per-query sizes is the naive (unshared) cost.
+class MasterList {
+ public:
+  /// An empty master list (no queries, no entries); assign over it.
+  MasterList() = default;
+
+  /// Rewrites every query in `batch` under `strategy` and merges. Fails if
+  /// any query cannot be rewritten (e.g. unsupported monomial).
+  static Result<MasterList> Build(const QueryBatch& batch,
+                                  const LinearStrategy& strategy);
+
+  /// Merges pre-transformed per-query sparse vectors (index = query index).
+  static MasterList FromQueryVectors(
+      const std::vector<SparseVec>& query_coefficients);
+
+  size_t num_queries() const { return num_queries_; }
+  /// Distinct coefficients needed by the batch = exact shared I/O cost.
+  size_t size() const { return entries_.size(); }
+  const MasterEntry& entry(size_t i) const { return entries_[i]; }
+  const std::vector<MasterEntry>& entries() const { return entries_; }
+
+  /// Σ per-query nonzero counts = exact naive (per-query) I/O cost.
+  uint64_t TotalQueryCoefficients() const { return total_coefficients_; }
+
+  /// Largest number of queries sharing one coefficient.
+  size_t MaxSharing() const;
+
+  /// Per-query nonzero counts (the naive cost split by query).
+  const std::vector<uint64_t>& PerQueryCoefficients() const {
+    return per_query_coefficients_;
+  }
+
+ private:
+  size_t num_queries_ = 0;
+  uint64_t total_coefficients_ = 0;
+  std::vector<uint64_t> per_query_coefficients_;
+  std::vector<MasterEntry> entries_;  // ascending by key
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CORE_MASTER_LIST_H_

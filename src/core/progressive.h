@@ -1,0 +1,111 @@
+#ifndef WAVEBATCH_CORE_PROGRESSIVE_H_
+#define WAVEBATCH_CORE_PROGRESSIVE_H_
+
+#include <queue>
+#include <vector>
+
+#include "core/master_list.h"
+#include "penalty/penalty.h"
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Orders in which a progressive evaluation may walk the master list.
+/// kBiggestB is the paper's algorithm; the others are ablation baselines
+/// (all of them share I/O — the comparison isolates the *ordering*).
+enum class ProgressionOrder {
+  /// Decreasing importance ι_p — the Batch-Biggest-B order, optimal for
+  /// worst-case (Thm 1) and expected (Thm 2) penalty at every step.
+  kBiggestB,
+  /// Round-robin over queries, each advancing through its own coefficients
+  /// in decreasing |q̂_i| — the natural "s independent single-query
+  /// ProPolyne instances" order, with fetches deduplicated.
+  kRoundRobin,
+  /// Uniformly random order (seeded).
+  kRandom,
+  /// Ascending key order — what a pure sequential scan would do.
+  kKeyOrder,
+};
+
+/// Batch-Biggest-B (Figure 1 of the paper): progressive evaluation of a
+/// batch of vector queries. Construction performs steps 1–4 (zero
+/// estimates, master list given, importance computation, heap build);
+/// every Step() performs one iteration of step 5: extract the most
+/// important unretrieved coefficient, fetch it, and advance the estimate
+/// of every query that uses it. After the final step the estimates hold
+/// the exact results.
+class ProgressiveEvaluator {
+ public:
+  /// `list`, `penalty`, and `store` must outlive the evaluator. `seed`
+  /// only affects kRandom.
+  ProgressiveEvaluator(const MasterList* list, const PenaltyFunction* penalty,
+                       CoefficientStore* store,
+                       ProgressionOrder order = ProgressionOrder::kBiggestB,
+                       uint64_t seed = 0);
+
+  size_t num_queries() const { return list_->num_queries(); }
+  /// Total steps to exactness (= master list size).
+  size_t TotalSteps() const { return list_->size(); }
+  uint64_t StepsTaken() const { return steps_taken_; }
+  bool Done() const { return steps_taken_ == TotalSteps(); }
+
+  /// One retrieval; requires !Done(). Returns the master-list entry index
+  /// that was consumed.
+  size_t Step();
+
+  /// Up to `n` further retrievals (stops at completion).
+  void StepMany(size_t n);
+
+  void RunToCompletion() { StepMany(TotalSteps()); }
+
+  /// Current progressive estimates (exact once Done()).
+  const std::vector<double>& Estimates() const { return estimates_; }
+
+  /// ι_p of the coefficient the next Step() will retrieve (0 when done).
+  /// Under kBiggestB this is the maximum importance of any unused
+  /// coefficient — the ξ′ of Theorem 1.
+  double NextImportance() const;
+
+  /// Theorem 1's guaranteed worst-case penalty bound for the current
+  /// B-term approximation: K^α · ι_p(ξ′), where `k_sum_abs` is
+  /// K = Σ_ξ |Δ̂[ξ]| (CoefficientStore::SumAbs of the data view) and α the
+  /// penalty's homogeneity degree. Only sharp under kBiggestB.
+  double WorstCaseBound(double k_sum_abs) const;
+
+  /// Theorem 2's expected penalty over data vectors uniform on the unit
+  /// sphere: Σ_{unused ξ} ι_p(ξ) / N^d, with `domain_cells` = N^d.
+  /// (The paper prints (N^d − 1)⁻¹ — the sphere-dimension off-by-one; the
+  /// uniform second moment on the unit sphere in R^n is 1/n, so we divide
+  /// by the cell count.) Meaningful for quadratic penalties.
+  double ExpectedPenalty(uint64_t domain_cells) const;
+
+  /// Importance of master-list entry `i` under the evaluator's penalty.
+  double ImportanceOf(size_t i) const { return importance_[i]; }
+
+ private:
+  void BuildOrder(ProgressionOrder order, uint64_t seed);
+  size_t NextEntry() const;  // entry the next Step() will take
+
+  const MasterList* list_;
+  const PenaltyFunction* penalty_;
+  CoefficientStore* store_;
+  ProgressionOrder order_;
+
+  std::vector<double> importance_;  // per master-list entry
+  std::vector<double> estimates_;
+  std::vector<bool> fetched_;
+  uint64_t steps_taken_ = 0;
+  double remaining_importance_ = 0.0;
+
+  // kBiggestB: max-heap of (importance, entry index).
+  using HeapItem = std::pair<double, size_t>;
+  std::priority_queue<HeapItem> heap_;
+  // Other orders: a precomputed sequence and cursor. The sequence may
+  // contain duplicates (round-robin); fetched_ filters them.
+  std::vector<size_t> sequence_;
+  mutable size_t cursor_ = 0;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CORE_PROGRESSIVE_H_

@@ -1,0 +1,42 @@
+#include "cube/dense_cube.h"
+
+#include <cmath>
+
+namespace wavebatch {
+
+double DenseCube::Total() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+double DenseCube::SumSquares() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return acc;
+}
+
+double DenseCube::SumAbs() const {
+  double acc = 0.0;
+  for (double v : values_) acc += std::abs(v);
+  return acc;
+}
+
+double DenseCube::Dot(const DenseCube& other) const {
+  WB_CHECK(schema_ == other.schema_) << "schema mismatch in Dot";
+  double acc = 0.0;
+  for (uint64_t i = 0; i < values_.size(); ++i) {
+    acc += values_[i] * other.values_[i];
+  }
+  return acc;
+}
+
+uint64_t DenseCube::CountNonZero(double eps) const {
+  uint64_t n = 0;
+  for (double v : values_) {
+    if (std::abs(v) > eps) ++n;
+  }
+  return n;
+}
+
+}  // namespace wavebatch

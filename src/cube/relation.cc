@@ -1,0 +1,21 @@
+#include "cube/relation.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+void Relation::Add(Tuple t) {
+  WB_CHECK(schema_.Contains(t)) << "tuple outside domain of "
+                                << schema_.ToString();
+  tuples_.push_back(std::move(t));
+}
+
+DenseCube Relation::FrequencyDistribution() const {
+  DenseCube delta(schema_);
+  for (const Tuple& t : tuples_) {
+    delta[schema_.Pack(t)] += 1.0;
+  }
+  return delta;
+}
+
+}  // namespace wavebatch

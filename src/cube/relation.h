@@ -1,0 +1,44 @@
+#ifndef WAVEBATCH_CUBE_RELATION_H_
+#define WAVEBATCH_CUBE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cube/dense_cube.h"
+#include "cube/schema.h"
+
+namespace wavebatch {
+
+/// A tuple is one coordinate per schema dimension. All attributes are
+/// integer-coded; continuous source attributes are expected to be binned
+/// into [0, size) before ingestion (the paper's data frequency distribution
+/// model).
+using Tuple = std::vector<uint32_t>;
+
+/// An in-memory bag of tuples over a schema: the database instance D whose
+/// frequency distribution Δ the storage strategies materialize. Duplicates
+/// are allowed and counted (Δ[x] = multiplicity of x).
+class Relation {
+ public:
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_tuples() const { return tuples_.size(); }
+  const Tuple& tuple(uint64_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple; coordinates must lie in the schema's domain.
+  void Add(Tuple t);
+
+  /// Materializes the data frequency distribution Δ (tuple counts per cell).
+  DenseCube FrequencyDistribution() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CUBE_RELATION_H_

@@ -1,0 +1,85 @@
+#ifndef WAVEBATCH_CUBE_SCHEMA_H_
+#define WAVEBATCH_CUBE_SCHEMA_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wavebatch {
+
+/// One attribute of a schema. The attribute's active domain is the integer
+/// interval [0, size); `size` must be a power of two (the paper's setting:
+/// d numeric attributes ranging from 0 to N-1 with N a power of two; the
+/// dimensions may have different sizes).
+struct Dimension {
+  std::string name;
+  uint32_t size = 0;
+};
+
+/// An ordered list of dimensions describing the domain Dom(F) over which
+/// data frequency distributions and query vectors are indexed. Immutable
+/// after construction; validated by Schema::Create.
+class Schema {
+ public:
+  /// Validates and builds a schema. Fails if `dims` is empty, any size is
+  /// not a power of two >= 2, names are empty/duplicated, or the total
+  /// domain requires more than 62 bits (cells must fit packed in a uint64).
+  static Result<Schema> Create(std::vector<Dimension> dims);
+
+  /// Convenience for tests/examples: dimensions named "d0", "d1", ....
+  static Schema Uniform(size_t num_dims, uint32_t size);
+
+  size_t num_dims() const { return dims_.size(); }
+  const Dimension& dim(size_t i) const { return dims_[i]; }
+  const std::vector<Dimension>& dims() const { return dims_; }
+
+  /// log2 of dimension i's size.
+  uint32_t bits(size_t i) const { return bits_[i]; }
+  /// Sum of all per-dimension bit widths (= log2 of cell_count()).
+  uint32_t total_bits() const { return total_bits_; }
+
+  /// Number of cells in the full domain (product of dimension sizes).
+  uint64_t cell_count() const { return uint64_t{1} << total_bits_; }
+
+  /// Index of the dimension named `name`, or an error.
+  Result<size_t> DimIndex(const std::string& name) const;
+
+  /// True iff `coords` has one in-domain coordinate per dimension.
+  bool Contains(std::span<const uint32_t> coords) const;
+
+  /// Packs per-dimension coordinates into a dense linear cell id
+  /// (dimension 0 occupies the most significant bits). Checked.
+  uint64_t Pack(std::span<const uint32_t> coords) const;
+
+  /// Inverse of Pack.
+  std::vector<uint32_t> Unpack(uint64_t cell) const;
+
+  /// Structural equality (names and sizes).
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.dims_.size() != b.dims_.size()) return false;
+    for (size_t i = 0; i < a.dims_.size(); ++i) {
+      if (a.dims_[i].name != b.dims_[i].name ||
+          a.dims_[i].size != b.dims_[i].size) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Human-readable description, e.g. "lat:64 x lon:64 x time:32".
+  std::string ToString() const;
+
+ private:
+  Schema() = default;
+
+  std::vector<Dimension> dims_;
+  std::vector<uint32_t> bits_;
+  uint32_t total_bits_ = 0;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_CUBE_SCHEMA_H_

@@ -1,0 +1,167 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace wavebatch {
+
+Schema TemperatureSchema(const TemperatureDatasetOptions& options) {
+  Result<Schema> schema = Schema::Create({
+      {"lat", options.lat_size},
+      {"lon", options.lon_size},
+      {"alt", options.alt_size},
+      {"time", options.time_size},
+      {"temp", options.temp_size},
+  });
+  WB_CHECK(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+namespace {
+
+// Streams `options.num_records` synthetic observations into `sink(tuple)`.
+template <typename Sink>
+void SampleTemperatureRecords(const TemperatureDatasetOptions& options,
+                              Sink&& sink) {
+  Rng rng(options.seed);
+  const double temp_max = options.temp_size - 1;
+  // Fixed "station network" centers (fractions of the lat/lon domain),
+  // roughly where land masses put real observation density.
+  static constexpr double kCenters[][2] = {
+      {0.30, 0.15}, {0.42, 0.55}, {0.65, 0.80}, {0.55, 0.30}, {0.25, 0.70}};
+  static constexpr size_t kNumCenters = 5;
+  Tuple t(5);
+  for (uint64_t r = 0; r < options.num_records; ++r) {
+    uint32_t lat, lon;
+    if (rng.UniformDouble() < options.station_clustering) {
+      const double* c = kCenters[rng.UniformInt(kNumCenters)];
+      const double lat_raw =
+          c[0] * options.lat_size + rng.Gaussian() * options.lat_size / 10.0;
+      const double lon_raw =
+          c[1] * options.lon_size + rng.Gaussian() * options.lon_size / 10.0;
+      lat = static_cast<uint32_t>(std::clamp(
+          lat_raw, 0.0, static_cast<double>(options.lat_size - 1)));
+      lon = static_cast<uint32_t>(std::clamp(
+          lon_raw, 0.0, static_cast<double>(options.lon_size - 1)));
+    } else {
+      lat = static_cast<uint32_t>(rng.UniformInt(options.lat_size));
+      lon = static_cast<uint32_t>(rng.UniformInt(options.lon_size));
+    }
+    // Observations thin out with altitude (fewer sensors aloft).
+    const uint32_t alt = static_cast<uint32_t>(
+        std::min<double>(std::abs(rng.Gaussian()) * options.alt_size / 2.5,
+                         options.alt_size - 1));
+    const uint32_t time =
+        static_cast<uint32_t>(rng.UniformInt(options.time_size));
+
+    // Smooth mean-temperature field, in [0, 1] before scaling:
+    // warm at the equator (middle latitude bin), cooling aloft, a seasonal-
+    // diurnal cycle, and gentle longitudinal (continent/ocean) variation.
+    const double lat_frac = static_cast<double>(lat) / (options.lat_size - 1);
+    const double equator = std::sin(M_PI * lat_frac);  // 0..1
+    const double lapse = static_cast<double>(alt) / options.alt_size;
+    const double season =
+        0.15 * std::sin(2.0 * M_PI * time / options.time_size);
+    const double continent =
+        0.10 * std::sin(4.0 * M_PI * lon / options.lon_size);
+    // Keep the field well inside (0, 1): binned physical temperatures
+    // (Kelvin-like) never reach the bottom of the scale, and a query's
+    // relative error is only meaningful when cell sums stay bounded away
+    // from zero (as in the paper's dataset).
+    const double field =
+        0.55 + 0.30 * equator - 0.25 * lapse + season + continent;
+    double temp_bins = field * temp_max + rng.Gaussian() * options.noise_bins;
+    temp_bins = std::clamp(temp_bins, 0.0, temp_max);
+    const uint32_t temp = static_cast<uint32_t>(std::lround(temp_bins));
+
+    t[0] = lat;
+    t[1] = lon;
+    t[2] = alt;
+    t[3] = time;
+    t[4] = temp;
+    sink(t);
+  }
+}
+
+}  // namespace
+
+void StreamTemperatureRecords(
+    const TemperatureDatasetOptions& options,
+    const std::function<void(const Tuple&)>& sink) {
+  SampleTemperatureRecords(options, sink);
+}
+
+Relation MakeTemperatureDataset(const TemperatureDatasetOptions& options) {
+  Relation relation(TemperatureSchema(options));
+  SampleTemperatureRecords(options,
+                           [&relation](const Tuple& t) { relation.Add(t); });
+  return relation;
+}
+
+DenseCube MakeTemperatureCube(const TemperatureDatasetOptions& options) {
+  DenseCube cube(TemperatureSchema(options));
+  const Schema& schema = cube.schema();
+  SampleTemperatureRecords(
+      options, [&](const Tuple& t) { cube[schema.Pack(t)] += 1.0; });
+  return cube;
+}
+
+Relation MakeUniformRelation(const Schema& schema, uint64_t n,
+                             uint64_t seed) {
+  Relation relation(schema);
+  Rng rng(seed);
+  Tuple t(schema.num_dims());
+  for (uint64_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < schema.num_dims(); ++i) {
+      t[i] = static_cast<uint32_t>(rng.UniformInt(schema.dim(i).size));
+    }
+    relation.Add(t);
+  }
+  return relation;
+}
+
+Relation MakeZipfRelation(const Schema& schema, uint64_t n, double s,
+                          uint64_t seed) {
+  Relation relation(schema);
+  Rng rng(seed);
+  Tuple t(schema.num_dims());
+  for (uint64_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < schema.num_dims(); ++i) {
+      t[i] = static_cast<uint32_t>(rng.Zipf(schema.dim(i).size, s));
+    }
+    relation.Add(t);
+  }
+  return relation;
+}
+
+Relation MakeGaussianClustersRelation(const Schema& schema, uint64_t n,
+                                      size_t clusters, double sigma_frac,
+                                      uint64_t seed) {
+  WB_CHECK_GT(clusters, 0u);
+  Relation relation(schema);
+  Rng rng(seed);
+  // Cluster centers.
+  std::vector<Tuple> centers(clusters, Tuple(schema.num_dims()));
+  for (Tuple& c : centers) {
+    for (size_t i = 0; i < schema.num_dims(); ++i) {
+      c[i] = static_cast<uint32_t>(rng.UniformInt(schema.dim(i).size));
+    }
+  }
+  Tuple t(schema.num_dims());
+  for (uint64_t r = 0; r < n; ++r) {
+    const Tuple& c = centers[rng.UniformInt(clusters)];
+    for (size_t i = 0; i < schema.num_dims(); ++i) {
+      const double size = schema.dim(i).size;
+      double x = c[i] + rng.Gaussian() * sigma_frac * size;
+      x = std::clamp(x, 0.0, size - 1);
+      t[i] = static_cast<uint32_t>(std::lround(x));
+    }
+    relation.Add(t);
+  }
+  return relation;
+}
+
+}  // namespace wavebatch

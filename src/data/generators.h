@@ -1,0 +1,83 @@
+#ifndef WAVEBATCH_DATA_GENERATORS_H_
+#define WAVEBATCH_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "cube/relation.h"
+
+namespace wavebatch {
+
+/// Configuration of the synthetic global-temperature dataset that stands in
+/// for the paper's proprietary JPL dataset (15.7 M temperature observations
+/// over latitude, longitude, altitude, time, temperature; March–April
+/// 2001). The synthetic field has the same schema and the same kind of
+/// smooth large-scale structure: a latitudinal gradient, an altitude lapse
+/// rate, a seasonal-diurnal cycle, longitudinal continental variation, and
+/// Gaussian measurement noise. All sizes must be powers of two.
+struct TemperatureDatasetOptions {
+  uint32_t lat_size = 32;
+  uint32_t lon_size = 32;
+  uint32_t alt_size = 8;
+  uint32_t time_size = 16;
+  uint32_t temp_size = 32;
+  uint64_t num_records = 200000;
+  /// Std-dev of the measurement noise, in temperature bins.
+  double noise_bins = 1.5;
+  /// Fraction of observations drawn from clustered "station networks"
+  /// (Gaussian blobs over land-mass centers) instead of uniformly over the
+  /// globe. Real observation density is strongly nonuniform; this puts
+  /// genuine signal into the coarse spatial wavelet coefficients.
+  double station_clustering = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Dimension indices of the temperature schema, in order.
+enum TemperatureDim : size_t {
+  kLat = 0,
+  kLon = 1,
+  kAlt = 2,
+  kTime = 3,
+  kTemp = 4,
+};
+
+/// The 5-dimensional schema (lat, lon, alt, time, temp) for `options`.
+Schema TemperatureSchema(const TemperatureDatasetOptions& options);
+
+/// Builds the synthetic temperature relation. Schema dimensions are named
+/// "lat", "lon", "alt", "time", "temp".
+Relation MakeTemperatureDataset(const TemperatureDatasetOptions& options);
+
+/// Streams the synthetic observations one tuple at a time into `sink` —
+/// the record-at-a-time access path the online-aggregation baseline scans.
+/// Same sampling and seed behavior as MakeTemperatureDataset; because
+/// records are drawn i.i.d., any prefix of the stream is a uniform random
+/// sample of the full dataset.
+void StreamTemperatureRecords(const TemperatureDatasetOptions& options,
+                              const std::function<void(const Tuple&)>& sink);
+
+/// Streams the same records directly into a frequency-distribution cube —
+/// the paper-scale path (millions of records) that never materializes
+/// per-tuple storage. Identical sampling and seed behavior to
+/// MakeTemperatureDataset: the cube equals that relation's
+/// FrequencyDistribution().
+DenseCube MakeTemperatureCube(const TemperatureDatasetOptions& options);
+
+/// `n` tuples uniform over the schema's domain.
+Relation MakeUniformRelation(const Schema& schema, uint64_t n, uint64_t seed);
+
+/// `n` tuples with independently Zipf-distributed coordinates (exponent
+/// `s`), modeling skewed categorical data.
+Relation MakeZipfRelation(const Schema& schema, uint64_t n, double s,
+                          uint64_t seed);
+
+/// `n` tuples drawn from `clusters` Gaussian blobs with per-dimension
+/// std-dev `sigma_frac` × dimension size, centers uniform; coordinates are
+/// clamped to the domain. Models multi-modal measure distributions.
+Relation MakeGaussianClustersRelation(const Schema& schema, uint64_t n,
+                                      size_t clusters, double sigma_frac,
+                                      uint64_t seed);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_DATA_GENERATORS_H_

@@ -1,0 +1,66 @@
+#include "data/workloads.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace wavebatch {
+
+namespace {
+
+PartitionWorkload MakeWorkloadOverBox(const Schema& schema, const Range& box,
+                                      std::span<const size_t> parts,
+                                      CellAggregate aggregate,
+                                      size_t measure_dim, uint64_t seed,
+                                      bool random_cuts, uint32_t min_width,
+                                      double measure_offset) {
+  Rng rng(seed);
+  GridPartition partition =
+      random_cuts
+          ? GridPartition::Random(schema, box, parts, rng, min_width)
+          : GridPartition::Uniform(schema, box, parts);
+  QueryBatch batch(schema);
+  for (size_t c = 0; c < partition.num_cells(); ++c) {
+    const Range& cell = partition.cell(c);
+    switch (aggregate) {
+      case CellAggregate::kCount:
+        batch.Add(RangeSumQuery::Count(cell, "count:" + cell.ToString()));
+        break;
+      case CellAggregate::kSum: {
+        WB_CHECK_LT(measure_dim, schema.num_dims());
+        Polynomial measure =
+            Polynomial::Attribute(schema.num_dims(), measure_dim) +
+            Polynomial::Constant(schema.num_dims(), measure_offset);
+        batch.Add(RangeSumQuery(cell, std::move(measure),
+                                "sum:" + cell.ToString()));
+        break;
+      }
+    }
+  }
+  return PartitionWorkload{schema, std::move(partition), std::move(batch)};
+}
+
+}  // namespace
+
+PartitionWorkload MakePartitionWorkload(const Schema& schema,
+                                        std::span<const size_t> parts,
+                                        CellAggregate aggregate,
+                                        size_t measure_dim, uint64_t seed,
+                                        bool random_cuts, uint32_t min_width,
+                                        double measure_offset) {
+  return MakeWorkloadOverBox(schema, Range::All(schema), parts, aggregate,
+                             measure_dim, seed, random_cuts, min_width,
+                             measure_offset);
+}
+
+PartitionWorkload MakeDrillDownWorkload(const Schema& schema,
+                                        const Range& box,
+                                        std::span<const size_t> parts,
+                                        CellAggregate aggregate,
+                                        size_t measure_dim, uint64_t seed,
+                                        bool random_cuts, uint32_t min_width,
+                                        double measure_offset) {
+  return MakeWorkloadOverBox(schema, box, parts, aggregate, measure_dim, seed,
+                             random_cuts, min_width, measure_offset);
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,60 @@
+#ifndef WAVEBATCH_DATA_WORKLOADS_H_
+#define WAVEBATCH_DATA_WORKLOADS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "query/batch.h"
+#include "query/partition.h"
+
+namespace wavebatch {
+
+/// What each partition cell computes.
+enum class CellAggregate {
+  kCount,
+  /// Sum of one attribute over the cell (the paper's workload: "sum the
+  /// temperature in each range"). The summed measure is
+  /// `measure_offset + x_dim`: a nonzero offset models physically-coded
+  /// attributes (e.g. binned Kelvin temperatures, where bin 0 is ~200 K,
+  /// not absolute zero).
+  kSum,
+};
+
+/// A batch of range-sums laid out over a grid partition — the paper's
+/// evaluation workload shape. The grid structure is retained because the
+/// cursored (P2) and Laplacian (P3) penalties are defined on cell
+/// adjacency.
+struct PartitionWorkload {
+  Schema schema;
+  GridPartition partition;
+  QueryBatch batch;
+};
+
+/// Partitions the whole domain into Π parts[i] grid cells (random interior
+/// cut points drawn with `seed`; pass random_cuts = false for an equal-
+/// width grid) and emits one query per cell. `measure_dim` is the summed
+/// attribute for kSum (ignored for kCount). Dimensions with parts[i] == 1
+/// are left unrestricted.
+PartitionWorkload MakePartitionWorkload(const Schema& schema,
+                                        std::span<const size_t> parts,
+                                        CellAggregate aggregate,
+                                        size_t measure_dim, uint64_t seed,
+                                        bool random_cuts = true,
+                                        uint32_t min_width = 1,
+                                        double measure_offset = 0.0);
+
+/// A drill-down refinement: partitions `box` (typically one cell of a
+/// coarser workload) into Π parts[i] sub-cells with the same aggregate —
+/// the OLAP exploration loop the paper's introduction motivates.
+PartitionWorkload MakeDrillDownWorkload(const Schema& schema,
+                                        const Range& box,
+                                        std::span<const size_t> parts,
+                                        CellAggregate aggregate,
+                                        size_t measure_dim, uint64_t seed,
+                                        bool random_cuts = true,
+                                        uint32_t min_width = 1,
+                                        double measure_offset = 0.0);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_DATA_WORKLOADS_H_

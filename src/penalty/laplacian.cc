@@ -1,0 +1,83 @@
+#include "penalty/laplacian.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+DifferencePenalty::DifferencePenalty(
+    size_t num_queries, std::vector<std::pair<size_t, size_t>> edges)
+    : num_queries_(num_queries), edges_(std::move(edges)) {
+  for (const auto& [i, j] : edges_) {
+    WB_CHECK_LT(i, num_queries_);
+    WB_CHECK_LT(j, num_queries_);
+  }
+}
+
+DifferencePenalty DifferencePenalty::ForGrid(const GridPartition& grid) {
+  return DifferencePenalty(grid.num_cells(), grid.AdjacentCellPairs());
+}
+
+double DifferencePenalty::Apply(std::span<const double> e) const {
+  WB_CHECK_EQ(e.size(), num_queries_);
+  double acc = 0.0;
+  for (const auto& [i, j] : edges_) {
+    const double d = e[i] - e[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+LaplacianPenalty::LaplacianPenalty(
+    size_t num_queries, std::vector<std::pair<size_t, size_t>> edges)
+    : num_queries_(num_queries), neighbors_(num_queries) {
+  for (const auto& [i, j] : edges) {
+    WB_CHECK_LT(i, num_queries_);
+    WB_CHECK_LT(j, num_queries_);
+    neighbors_[i].push_back(j);
+    neighbors_[j].push_back(i);
+  }
+}
+
+LaplacianPenalty LaplacianPenalty::ForGrid(const GridPartition& grid) {
+  return LaplacianPenalty(grid.num_cells(), grid.AdjacentCellPairs());
+}
+
+double LaplacianPenalty::Apply(std::span<const double> e) const {
+  WB_CHECK_EQ(e.size(), num_queries_);
+  double acc = 0.0;
+  for (size_t i = 0; i < num_queries_; ++i) {
+    double lap = 0.0;
+    for (size_t j : neighbors_[i]) lap += e[j] - e[i];
+    acc += lap * lap;
+  }
+  return acc;
+}
+
+SobolevPenalty::SobolevPenalty(size_t num_queries,
+                               std::vector<std::pair<size_t, size_t>> edges,
+                               double lambda)
+    : num_queries_(num_queries), edges_(std::move(edges)), lambda_(lambda) {
+  WB_CHECK_GE(lambda_, 0.0);
+  for (const auto& [i, j] : edges_) {
+    WB_CHECK_LT(i, num_queries_);
+    WB_CHECK_LT(j, num_queries_);
+  }
+}
+
+SobolevPenalty SobolevPenalty::ForGrid(const GridPartition& grid,
+                                       double lambda) {
+  return SobolevPenalty(grid.num_cells(), grid.AdjacentCellPairs(), lambda);
+}
+
+double SobolevPenalty::Apply(std::span<const double> e) const {
+  WB_CHECK_EQ(e.size(), num_queries_);
+  double acc = 0.0;
+  for (double v : e) acc += v * v;
+  for (const auto& [i, j] : edges_) {
+    const double d = e[i] - e[j];
+    acc += lambda_ * d * d;
+  }
+  return acc;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,84 @@
+#ifndef WAVEBATCH_PENALTY_LAPLACIAN_H_
+#define WAVEBATCH_PENALTY_LAPLACIAN_H_
+
+#include <utility>
+#include <vector>
+
+#include "penalty/penalty.h"
+#include "query/partition.h"
+
+namespace wavebatch {
+
+/// Dirichlet-energy penalty p(e) = Σ_{(i,j)∈E} (e_i − e_j)² over an
+/// adjacency structure on the batch (typically the grid adjacency of a
+/// partition workload). Penalizes errors in the *differences* between
+/// neighboring results — the "dramatic jumps / temporal surprises" use
+/// case of Section 4. Quadratic: eᵀ·L·e with L the graph Laplacian.
+class DifferencePenalty : public PenaltyFunction {
+ public:
+  /// `edges` are index pairs into the batch; `num_queries` bounds them.
+  DifferencePenalty(size_t num_queries,
+                    std::vector<std::pair<size_t, size_t>> edges);
+
+  /// Adjacency of a grid partition workload (cell i ↔ query i).
+  static DifferencePenalty ForGrid(const GridPartition& grid);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "difference"; }
+
+ private:
+  size_t num_queries_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+/// P3: sum of square errors *of the discrete Laplacian*,
+/// p(e) = Σ_i ( Σ_{j~i} (e_j − e_i) )² = ‖L·e‖², penalizing exactly the
+/// error patterns that fabricate or hide local extrema. Quadratic: eᵀL²e.
+class LaplacianPenalty : public PenaltyFunction {
+ public:
+  LaplacianPenalty(size_t num_queries,
+                   std::vector<std::pair<size_t, size_t>> edges);
+
+  static LaplacianPenalty ForGrid(const GridPartition& grid);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "laplacian"; }
+
+ private:
+  size_t num_queries_;
+  // Neighbor lists per query (degree + neighbors), prebuilt from edges.
+  std::vector<std::vector<size_t>> neighbors_;
+};
+
+/// A (discrete) first-order Sobolev penalty — one of the "well known
+/// metrics" Definition 2 names:  p(e) = Σ|e_i|² + λ·Σ_{(i,j)∈E}(e_i−e_j)².
+/// Balances absolute accuracy against the smoothness of the error field;
+/// λ = 0 degenerates to SSE, λ → ∞ to pure Dirichlet energy. Quadratic.
+class SobolevPenalty : public PenaltyFunction {
+ public:
+  SobolevPenalty(size_t num_queries,
+                 std::vector<std::pair<size_t, size_t>> edges,
+                 double lambda);
+
+  static SobolevPenalty ForGrid(const GridPartition& grid, double lambda);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "sobolev"; }
+
+  double lambda() const { return lambda_; }
+
+ private:
+  size_t num_queries_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+  double lambda_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_PENALTY_LAPLACIAN_H_

@@ -1,0 +1,36 @@
+#ifndef WAVEBATCH_PENALTY_LP_H_
+#define WAVEBATCH_PENALTY_LP_H_
+
+#include "penalty/penalty.h"
+
+namespace wavebatch {
+
+/// The Lp norm p(e) = (Σ|e_i|^p)^{1/p} for 1 <= p <= infinity — the family
+/// Corollary 1 covers: using it as the importance function minimizes the
+/// worst-case Lp error of every progressive step. Norms are homogeneous of
+/// degree 1 and convex, hence valid structural error penalties.
+class LpPenalty : public PenaltyFunction {
+ public:
+  /// `p` >= 1; use LpPenalty::Infinity() for the max norm.
+  explicit LpPenalty(double p);
+
+  /// The L∞ (max) norm.
+  static LpPenalty Infinity();
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 1.0; }
+  std::string name() const override;
+
+  double p() const { return p_; }
+  bool is_infinity() const { return is_infinity_; }
+
+ private:
+  LpPenalty() : p_(0), is_infinity_(true) {}
+
+  double p_;
+  bool is_infinity_ = false;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_PENALTY_LP_H_

@@ -1,0 +1,42 @@
+#ifndef WAVEBATCH_PENALTY_PENALTY_H_
+#define WAVEBATCH_PENALTY_PENALTY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace wavebatch {
+
+/// A structural error penalty function (Definition 2 of the paper): a
+/// non-negative, homogeneous, convex function p on error vectors with
+/// p(0) = 0 and p(−e) = p(e). One entry of the error vector per query in
+/// the batch.
+///
+/// The same function doubles as the importance function of Batch-Biggest-B
+/// (Definition 3): ι_p(ξ) = p(q̂₀[ξ], …, q̂_{s−1}[ξ]) — apply the penalty to
+/// the column of query coefficients at wavelet ξ. Theorems 1 and 2 prove
+/// that retrieving coefficients in decreasing ι_p order minimizes both the
+/// worst-case and (for quadratic p) the expected penalty at every step.
+class PenaltyFunction {
+ public:
+  virtual ~PenaltyFunction() = default;
+
+  /// p(e). `e` has one entry per batch query.
+  virtual double Apply(std::span<const double> e) const = 0;
+
+  /// Degree of homogeneity α: p(c·e) = |c|^α·p(e). Quadratic forms have
+  /// α = 2; norms have α = 1. Theorem 1's worst-case bound is K^α·ι_p(ξ′).
+  virtual double HomogeneityDegree() const = 0;
+
+  /// True iff p is a positive semi-definite quadratic form (the class for
+  /// which Theorem 2's expected-penalty analysis holds).
+  virtual bool IsQuadratic() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+using PenaltyPtr = std::unique_ptr<PenaltyFunction>;
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_PENALTY_PENALTY_H_

@@ -1,0 +1,86 @@
+#include "penalty/quadratic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+Result<DenseQuadraticPenalty> DenseQuadraticPenalty::Create(
+    size_t s, std::vector<double> matrix) {
+  if (matrix.size() != s * s) {
+    return Status::InvalidArgument("quadratic penalty matrix must be s x s");
+  }
+  // Symmetry.
+  double max_abs = 0.0;
+  for (double v : matrix) max_abs = std::max(max_abs, std::abs(v));
+  const double tol = max_abs * 1e-9;
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = i + 1; j < s; ++j) {
+      if (std::abs(matrix[i * s + j] - matrix[j * s + i]) > tol) {
+        return Status::InvalidArgument(
+            "quadratic penalty matrix must be symmetric");
+      }
+    }
+  }
+  // Positive semi-definiteness via Cholesky with zero-pivot tolerance.
+  std::vector<double> chol = matrix;
+  const double pivot_tol = std::max(max_abs, 1.0) * 1e-9;
+  for (size_t k = 0; k < s; ++k) {
+    double pivot = chol[k * s + k];
+    if (pivot < -pivot_tol) {
+      return Status::InvalidArgument(
+          "quadratic penalty matrix must be positive semi-definite");
+    }
+    if (pivot <= pivot_tol) {
+      // Semi-definite direction: the whole row/column must vanish.
+      for (size_t j = k + 1; j < s; ++j) {
+        if (std::abs(chol[k * s + j]) > pivot_tol) {
+          return Status::InvalidArgument(
+              "quadratic penalty matrix must be positive semi-definite");
+        }
+      }
+      continue;
+    }
+    const double root = std::sqrt(pivot);
+    for (size_t j = k; j < s; ++j) chol[k * s + j] /= root;
+    for (size_t i = k + 1; i < s; ++i) {
+      const double f = chol[k * s + i];
+      for (size_t j = i; j < s; ++j) {
+        chol[i * s + j] -= f * chol[k * s + j];
+      }
+    }
+  }
+  return DenseQuadraticPenalty(s, std::move(matrix));
+}
+
+double DenseQuadraticPenalty::Apply(std::span<const double> e) const {
+  WB_CHECK_EQ(e.size(), s_);
+  double acc = 0.0;
+  for (size_t i = 0; i < s_; ++i) {
+    if (e[i] == 0.0) continue;
+    double row = 0.0;
+    const double* a = &matrix_[i * s_];
+    for (size_t j = 0; j < s_; ++j) row += a[j] * e[j];
+    acc += e[i] * row;
+  }
+  // Roundoff can drive a PSD form epsilon-negative; clamp.
+  return acc < 0.0 ? 0.0 : acc;
+}
+
+void CompositeQuadraticPenalty::AddTerm(double c,
+                                        const PenaltyFunction* penalty) {
+  WB_CHECK_GE(c, 0.0);
+  WB_CHECK(penalty != nullptr);
+  WB_CHECK(penalty->IsQuadratic())
+      << "CompositeQuadraticPenalty terms must be quadratic";
+  terms_.emplace_back(c, penalty);
+}
+
+double CompositeQuadraticPenalty::Apply(std::span<const double> e) const {
+  double acc = 0.0;
+  for (const auto& [c, p] : terms_) acc += c * p->Apply(e);
+  return acc;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,60 @@
+#ifndef WAVEBATCH_PENALTY_QUADRATIC_H_
+#define WAVEBATCH_PENALTY_QUADRATIC_H_
+
+#include <vector>
+
+#include "penalty/penalty.h"
+#include "util/status.h"
+
+namespace wavebatch {
+
+/// A general quadratic structural error penalty p(e) = eᵀ·A·e for a
+/// symmetric positive semi-definite matrix A (Definition 2's quadratic
+/// case). Covers arbitrary cross-query error couplings — e.g. penalizing
+/// the error of differences between specific result pairs.
+class DenseQuadraticPenalty : public PenaltyFunction {
+ public:
+  /// `matrix` is s×s row-major. Fails unless symmetric (tolerance 1e-9
+  /// relative) and PSD (checked by attempted Cholesky with small pivots
+  /// allowed to be zero).
+  static Result<DenseQuadraticPenalty> Create(size_t s,
+                                              std::vector<double> matrix);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "quadratic"; }
+
+  size_t size() const { return s_; }
+  double coeff(size_t i, size_t j) const { return matrix_[i * s_ + j]; }
+
+ private:
+  DenseQuadraticPenalty(size_t s, std::vector<double> matrix)
+      : s_(s), matrix_(std::move(matrix)) {}
+
+  size_t s_;
+  std::vector<double> matrix_;
+};
+
+/// A non-negative linear combination Σ c_k·p_k of quadratic penalties —
+/// itself a quadratic penalty (the mixing flexibility Section 4 notes).
+/// The component penalties must outlive this object.
+class CompositeQuadraticPenalty : public PenaltyFunction {
+ public:
+  CompositeQuadraticPenalty() = default;
+
+  /// Adds c * penalty; `c >= 0` and `penalty->IsQuadratic()` required.
+  void AddTerm(double c, const PenaltyFunction* penalty);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "composite"; }
+
+ private:
+  std::vector<std::pair<double, const PenaltyFunction*>> terms_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_PENALTY_QUADRATIC_H_

@@ -1,0 +1,41 @@
+#include "penalty/sse.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+double SsePenalty::Apply(std::span<const double> e) const {
+  double acc = 0.0;
+  for (double v : e) acc += v * v;
+  return acc;
+}
+
+WeightedSsePenalty::WeightedSsePenalty(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) {
+    WB_CHECK_GE(w, 0.0) << "penalty weights must be non-negative";
+  }
+}
+
+double WeightedSsePenalty::Apply(std::span<const double> e) const {
+  WB_CHECK_EQ(e.size(), weights_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] * e[i] * e[i];
+  }
+  return acc;
+}
+
+WeightedSsePenalty CursoredSsePenalty(size_t num_queries,
+                                      std::span<const size_t> high_priority,
+                                      double priority_weight) {
+  WB_CHECK_GE(priority_weight, 0.0);
+  std::vector<double> weights(num_queries, 1.0);
+  for (size_t i : high_priority) {
+    WB_CHECK_LT(i, num_queries);
+    weights[i] = priority_weight;
+  }
+  return WeightedSsePenalty(std::move(weights));
+}
+
+}  // namespace wavebatch

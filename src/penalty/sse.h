@@ -1,0 +1,48 @@
+#ifndef WAVEBATCH_PENALTY_SSE_H_
+#define WAVEBATCH_PENALTY_SSE_H_
+
+#include <vector>
+
+#include "penalty/penalty.h"
+
+namespace wavebatch {
+
+/// P1: the sum of square errors p(e) = Σ|e_i|² — the penalty minimized by
+/// the plain biggest-B progression of Section 2.
+class SsePenalty : public PenaltyFunction {
+ public:
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "sse"; }
+};
+
+/// Diagonal quadratic penalty p(e) = Σ w_i·|e_i|² with w_i >= 0. Zero
+/// weights declare errors irrelevant (the semi-definite flexibility
+/// Definition 2 calls out).
+class WeightedSsePenalty : public PenaltyFunction {
+ public:
+  /// One non-negative weight per batch query.
+  explicit WeightedSsePenalty(std::vector<double> weights);
+
+  double Apply(std::span<const double> e) const override;
+  double HomogeneityDegree() const override { return 2.0; }
+  bool IsQuadratic() const override { return true; }
+  std::string name() const override { return "weighted-sse"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// P2: the cursored SSE — high-priority queries (the set "near the cursor",
+/// e.g. currently rendered on screen) weigh `priority_weight` times more
+/// than the rest:  p(e) = w·Σ_{i∈H}|e_i|² + Σ_{i∉H}|e_i|².
+WeightedSsePenalty CursoredSsePenalty(size_t num_queries,
+                                      std::span<const size_t> high_priority,
+                                      double priority_weight = 10.0);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_PENALTY_SSE_H_

@@ -1,0 +1,42 @@
+#include "query/batch.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+void QueryBatch::Add(RangeSumQuery query) {
+  WB_CHECK_EQ(query.range().num_dims(), schema_.num_dims());
+  queries_.push_back(std::move(query));
+}
+
+uint32_t QueryBatch::MaxVarDegree() const {
+  uint32_t deg = 0;
+  for (const RangeSumQuery& q : queries_) {
+    deg = std::max(deg, q.MaxVarDegree());
+  }
+  return deg;
+}
+
+std::vector<double> QueryBatch::BruteForce(const Relation& relation) const {
+  std::vector<double> results(queries_.size(), 0.0);
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (queries_[i].range().Contains(t)) {
+        results[i] += queries_[i].poly().Evaluate(t);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<double> QueryBatch::BruteForce(const DenseCube& delta) const {
+  std::vector<double> results(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    results[i] = queries_[i].BruteForce(delta);
+  }
+  return results;
+}
+
+}  // namespace wavebatch

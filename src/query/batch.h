@@ -1,0 +1,43 @@
+#ifndef WAVEBATCH_QUERY_BATCH_H_
+#define WAVEBATCH_QUERY_BATCH_H_
+
+#include <vector>
+
+#include "query/range_sum.h"
+
+namespace wavebatch {
+
+/// An ordered batch of polynomial range-sums submitted together — the unit
+/// of evaluation for Batch-Biggest-B. The index of a query in the batch is
+/// its coordinate in error vectors and penalty functions (a cursored
+/// penalty's "high-priority set" is a set of these indices).
+class QueryBatch {
+ public:
+  explicit QueryBatch(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return queries_.size(); }
+  const RangeSumQuery& query(size_t i) const { return queries_[i]; }
+  const std::vector<RangeSumQuery>& queries() const { return queries_; }
+
+  /// Appends a query (dimensionality checked).
+  void Add(RangeSumQuery query);
+
+  /// The largest per-variable degree across the batch — the δ that picks
+  /// the wavelet filter for the whole batch.
+  uint32_t MaxVarDegree() const;
+
+  /// Reference results by scanning the relation (one pass over all tuples).
+  std::vector<double> BruteForce(const Relation& relation) const;
+
+  /// Reference results against a materialized frequency distribution.
+  std::vector<double> BruteForce(const DenseCube& delta) const;
+
+ private:
+  Schema schema_;
+  std::vector<RangeSumQuery> queries_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_QUERY_BATCH_H_

@@ -1,0 +1,139 @@
+#include "query/derived.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+AverageHandle PlanAverage(QueryBatch& batch, const Range& range, size_t dim) {
+  AverageHandle h;
+  h.count_idx = batch.size();
+  batch.Add(RangeSumQuery::Count(range));
+  h.sum_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim));
+  return h;
+}
+
+double FinishAverage(const AverageHandle& h,
+                     std::span<const double> results) {
+  WB_CHECK_LT(h.count_idx, results.size());
+  WB_CHECK_LT(h.sum_idx, results.size());
+  const double count = results[h.count_idx];
+  if (count == 0.0) return 0.0;
+  return results[h.sum_idx] / count;
+}
+
+VarianceHandle PlanVariance(QueryBatch& batch, const Range& range,
+                            size_t dim) {
+  VarianceHandle h;
+  h.count_idx = batch.size();
+  batch.Add(RangeSumQuery::Count(range));
+  h.sum_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim));
+  h.sum_sq_idx = batch.size();
+  batch.Add(RangeSumQuery::SumPower(range, dim, 2));
+  return h;
+}
+
+double FinishVariance(const VarianceHandle& h,
+                      std::span<const double> results) {
+  WB_CHECK_LT(h.sum_sq_idx, results.size());
+  const double count = results[h.count_idx];
+  if (count == 0.0) return 0.0;
+  const double mean = results[h.sum_idx] / count;
+  return results[h.sum_sq_idx] / count - mean * mean;
+}
+
+CovarianceHandle PlanCovariance(QueryBatch& batch, const Range& range,
+                                size_t dim_i, size_t dim_j) {
+  CovarianceHandle h;
+  h.count_idx = batch.size();
+  batch.Add(RangeSumQuery::Count(range));
+  h.sum_i_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_i));
+  h.sum_j_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_j));
+  h.sum_ij_idx = batch.size();
+  batch.Add(RangeSumQuery::SumProduct(range, dim_i, dim_j));
+  return h;
+}
+
+double FinishCovariance(const CovarianceHandle& h,
+                        std::span<const double> results) {
+  WB_CHECK_LT(h.sum_ij_idx, results.size());
+  const double count = results[h.count_idx];
+  if (count == 0.0) return 0.0;
+  const double mean_i = results[h.sum_i_idx] / count;
+  const double mean_j = results[h.sum_j_idx] / count;
+  return results[h.sum_ij_idx] / count - mean_i * mean_j;
+}
+
+CorrelationHandle PlanCorrelation(QueryBatch& batch, const Range& range,
+                                  size_t dim_i, size_t dim_j) {
+  CorrelationHandle h;
+  h.count_idx = batch.size();
+  batch.Add(RangeSumQuery::Count(range));
+  h.sum_i_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_i));
+  h.sum_j_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_j));
+  h.sum_ii_idx = batch.size();
+  batch.Add(RangeSumQuery::SumPower(range, dim_i, 2));
+  h.sum_jj_idx = batch.size();
+  batch.Add(RangeSumQuery::SumPower(range, dim_j, 2));
+  h.sum_ij_idx = batch.size();
+  batch.Add(RangeSumQuery::SumProduct(range, dim_i, dim_j));
+  return h;
+}
+
+double FinishCorrelation(const CorrelationHandle& h,
+                         std::span<const double> results) {
+  WB_CHECK_LT(h.sum_ij_idx, results.size());
+  const double count = results[h.count_idx];
+  if (count == 0.0) return 0.0;
+  const double mean_i = results[h.sum_i_idx] / count;
+  const double mean_j = results[h.sum_j_idx] / count;
+  const double var_i = results[h.sum_ii_idx] / count - mean_i * mean_i;
+  const double var_j = results[h.sum_jj_idx] / count - mean_j * mean_j;
+  if (var_i <= 0.0 || var_j <= 0.0) return 0.0;
+  const double cov = results[h.sum_ij_idx] / count - mean_i * mean_j;
+  return cov / std::sqrt(var_i * var_j);
+}
+
+RegressionHandle PlanRegression(QueryBatch& batch, const Range& range,
+                                size_t dim_i, size_t dim_j) {
+  RegressionHandle h;
+  h.count_idx = batch.size();
+  batch.Add(RangeSumQuery::Count(range));
+  h.sum_i_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_i));
+  h.sum_j_idx = batch.size();
+  batch.Add(RangeSumQuery::Sum(range, dim_j));
+  h.sum_ii_idx = batch.size();
+  batch.Add(RangeSumQuery::SumPower(range, dim_i, 2));
+  h.sum_ij_idx = batch.size();
+  batch.Add(RangeSumQuery::SumProduct(range, dim_i, dim_j));
+  return h;
+}
+
+RegressionResult FinishRegression(const RegressionHandle& h,
+                                  std::span<const double> results) {
+  WB_CHECK_LT(h.sum_ij_idx, results.size());
+  RegressionResult out;
+  const double count = results[h.count_idx];
+  if (count == 0.0) return out;
+  const double mean_i = results[h.sum_i_idx] / count;
+  const double mean_j = results[h.sum_j_idx] / count;
+  const double var_i = results[h.sum_ii_idx] / count - mean_i * mean_i;
+  if (var_i <= 0.0) {
+    out.intercept = mean_j;
+    return out;
+  }
+  const double cov = results[h.sum_ij_idx] / count - mean_i * mean_j;
+  out.slope = cov / var_i;
+  out.intercept = mean_j - out.slope * mean_i;
+  return out;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,85 @@
+#ifndef WAVEBATCH_QUERY_DERIVED_H_
+#define WAVEBATCH_QUERY_DERIVED_H_
+
+#include <span>
+
+#include "query/batch.h"
+
+namespace wavebatch {
+
+/// Derived aggregates (Section 3 of the paper): AVERAGE, VARIANCE, and
+/// COVARIANCE are not vector queries themselves but are computed from the
+/// COUNT / SUM / SUM-OF-PRODUCTS vector queries. The Plan* functions append
+/// the needed vector queries to a batch (so they participate in I/O sharing
+/// and progressive evaluation like any other query); the Finish* functions
+/// combine the batch results — exact or progressive — into the statistic.
+
+/// AVERAGE(R, x_dim) = SUM / COUNT.
+struct AverageHandle {
+  size_t count_idx;
+  size_t sum_idx;
+};
+AverageHandle PlanAverage(QueryBatch& batch, const Range& range, size_t dim);
+/// Returns 0 when the range is empty (count == 0).
+double FinishAverage(const AverageHandle& h, std::span<const double> results);
+
+/// Population VARIANCE(R, x_dim) = E[x²] − E[x]².
+struct VarianceHandle {
+  size_t count_idx;
+  size_t sum_idx;
+  size_t sum_sq_idx;
+};
+VarianceHandle PlanVariance(QueryBatch& batch, const Range& range, size_t dim);
+double FinishVariance(const VarianceHandle& h,
+                      std::span<const double> results);
+
+/// Population COVARIANCE(R, x_i, x_j) = E[x_i·x_j] − E[x_i]·E[x_j].
+struct CovarianceHandle {
+  size_t count_idx;
+  size_t sum_i_idx;
+  size_t sum_j_idx;
+  size_t sum_ij_idx;
+};
+CovarianceHandle PlanCovariance(QueryBatch& batch, const Range& range,
+                                size_t dim_i, size_t dim_j);
+double FinishCovariance(const CovarianceHandle& h,
+                        std::span<const double> results);
+
+/// Pearson CORRELATION(R, x_i, x_j) = cov / (σ_i·σ_j); 0 when either
+/// attribute is constant on the range. Section 3 of the paper points out
+/// (citing Shao [16]) that such range-level statistics all reduce to the
+/// COUNT / SUM / SUM-OF-PRODUCTS vector queries.
+struct CorrelationHandle {
+  size_t count_idx;
+  size_t sum_i_idx;
+  size_t sum_j_idx;
+  size_t sum_ii_idx;
+  size_t sum_jj_idx;
+  size_t sum_ij_idx;
+};
+CorrelationHandle PlanCorrelation(QueryBatch& batch, const Range& range,
+                                  size_t dim_i, size_t dim_j);
+double FinishCorrelation(const CorrelationHandle& h,
+                         std::span<const double> results);
+
+/// Least-squares REGRESSION of x_j on x_i over the tuples in R:
+/// x_j ≈ slope·x_i + intercept. Slope is 0 when x_i is constant.
+struct RegressionHandle {
+  size_t count_idx;
+  size_t sum_i_idx;
+  size_t sum_j_idx;
+  size_t sum_ii_idx;
+  size_t sum_ij_idx;
+};
+struct RegressionResult {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+RegressionHandle PlanRegression(QueryBatch& batch, const Range& range,
+                                size_t dim_i, size_t dim_j);
+RegressionResult FinishRegression(const RegressionHandle& h,
+                                  std::span<const double> results);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_QUERY_DERIVED_H_

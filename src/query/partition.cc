@@ -1,0 +1,145 @@
+#include "query/partition.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+GridPartition::GridPartition(
+    std::vector<std::vector<Interval>> dim_intervals, const Schema& schema) {
+  cells_per_dim_.reserve(dim_intervals.size());
+  size_t total = 1;
+  for (const auto& ivs : dim_intervals) {
+    WB_CHECK(!ivs.empty());
+    cells_per_dim_.push_back(ivs.size());
+    total *= ivs.size();
+  }
+  cells_.reserve(total);
+  const size_t d = dim_intervals.size();
+  std::vector<size_t> idx(d, 0);
+  for (;;) {
+    std::vector<Interval> cell(d);
+    for (size_t i = 0; i < d; ++i) cell[i] = dim_intervals[i][idx[i]];
+    Result<Range> r = Range::Create(schema, std::move(cell));
+    WB_CHECK(r.ok()) << r.status();
+    cells_.push_back(std::move(r).value());
+    size_t dim = d;
+    bool done = true;
+    while (dim-- > 0) {
+      if (++idx[dim] < dim_intervals[dim].size()) {
+        done = false;
+        break;
+      }
+      idx[dim] = 0;
+    }
+    if (done) break;
+  }
+}
+
+size_t GridPartition::CellIndex(std::span<const size_t> grid_coords) const {
+  WB_CHECK_EQ(grid_coords.size(), cells_per_dim_.size());
+  size_t index = 0;
+  for (size_t i = 0; i < grid_coords.size(); ++i) {
+    WB_CHECK_LT(grid_coords[i], cells_per_dim_[i]);
+    index = index * cells_per_dim_[i] + grid_coords[i];
+  }
+  return index;
+}
+
+std::vector<size_t> GridPartition::GridCoords(size_t index) const {
+  WB_CHECK_LT(index, cells_.size());
+  std::vector<size_t> coords(cells_per_dim_.size());
+  for (size_t i = cells_per_dim_.size(); i-- > 0;) {
+    coords[i] = index % cells_per_dim_[i];
+    index /= cells_per_dim_[i];
+  }
+  return coords;
+}
+
+std::vector<std::pair<size_t, size_t>> GridPartition::AdjacentCellPairs()
+    const {
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    std::vector<size_t> coords = GridCoords(c);
+    for (size_t dim = 0; dim < cells_per_dim_.size(); ++dim) {
+      if (coords[dim] + 1 < cells_per_dim_[dim]) {
+        std::vector<size_t> next = coords;
+        ++next[dim];
+        edges.emplace_back(c, CellIndex(next));
+      }
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+// Splits [lo, hi] into `parts` intervals at the given sorted interior cut
+// offsets (each cut c means a boundary between lo+c-1 and lo+c).
+std::vector<Interval> SplitAtCuts(uint32_t lo, uint32_t hi,
+                                  const std::vector<uint64_t>& cuts) {
+  std::vector<Interval> out;
+  uint32_t start = lo;
+  for (uint64_t c : cuts) {
+    const uint32_t boundary = lo + static_cast<uint32_t>(c);
+    out.push_back({start, boundary - 1});
+    start = boundary;
+  }
+  out.push_back({start, hi});
+  return out;
+}
+
+}  // namespace
+
+GridPartition GridPartition::Random(const Schema& schema, const Range& box,
+                                    std::span<const size_t> parts, Rng& rng,
+                                    uint32_t min_width) {
+  WB_CHECK_EQ(parts.size(), schema.num_dims());
+  WB_CHECK_GE(min_width, 1u);
+  std::vector<std::vector<Interval>> dim_intervals(schema.num_dims());
+  for (size_t i = 0; i < schema.num_dims(); ++i) {
+    const Interval& iv = box.interval(i);
+    const uint64_t len = iv.length();
+    const uint64_t k = parts[i];
+    WB_CHECK_GE(k, 1u);
+    WB_CHECK_LE(k * min_width, len)
+        << "cannot split dimension " << schema.dim(i).name << " of length "
+        << len << " into " << k << " parts of width >= " << min_width;
+    // Stars-and-bars with a floor: distribute the slack len - k*min_width
+    // over k cells via k-1 random cut offsets, then widen every cell by
+    // min_width. With min_width == 1 this is exactly a uniform choice of
+    // k-1 distinct interior boundaries.
+    const uint64_t slack = len - k * min_width;
+    std::vector<uint64_t> slack_cuts =
+        rng.SampleWithoutReplacement(slack + k - 1, k - 1);
+    std::vector<uint64_t> cuts(k - 1);
+    for (size_t j = 0; j < cuts.size(); ++j) {
+      // Subtracting the bar's own position converts the combination into a
+      // non-decreasing slack allocation; adding back (j+1)*min_width gives
+      // the real cut offset.
+      cuts[j] = (slack_cuts[j] - j) + (j + 1) * static_cast<uint64_t>(
+                                                   min_width);
+    }
+    dim_intervals[i] = SplitAtCuts(iv.lo, iv.hi, cuts);
+  }
+  return GridPartition(std::move(dim_intervals), schema);
+}
+
+GridPartition GridPartition::Uniform(const Schema& schema, const Range& box,
+                                     std::span<const size_t> parts) {
+  WB_CHECK_EQ(parts.size(), schema.num_dims());
+  std::vector<std::vector<Interval>> dim_intervals(schema.num_dims());
+  for (size_t i = 0; i < schema.num_dims(); ++i) {
+    const Interval& iv = box.interval(i);
+    const uint64_t len = iv.length();
+    WB_CHECK_GE(parts[i], 1u);
+    WB_CHECK_LE(parts[i], len);
+    std::vector<uint64_t> cuts;
+    for (size_t k = 1; k < parts[i]; ++k) {
+      cuts.push_back(k * len / parts[i]);
+    }
+    dim_intervals[i] = SplitAtCuts(iv.lo, iv.hi, cuts);
+  }
+  return GridPartition(std::move(dim_intervals), schema);
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,66 @@
+#ifndef WAVEBATCH_QUERY_POLYNOMIAL_H_
+#define WAVEBATCH_QUERY_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/relation.h"
+#include "cube/schema.h"
+
+namespace wavebatch {
+
+/// One term c · Π_i x_i^{e_i} of a polynomial in the schema attributes.
+/// `exponents` has one entry per schema dimension (0 = absent variable).
+struct Monomial {
+  double coeff = 1.0;
+  std::vector<uint32_t> exponents;
+};
+
+/// A multivariate polynomial p(x₀, …, x_{d-1}) in sparse monomial form —
+/// the measure part of a polynomial range-sum q[x] = p(x)·χ_R(x)
+/// (Definition 1 of the paper). Polynomials are kept in canonical form:
+/// no duplicate exponent vectors, no zero coefficients.
+class Polynomial {
+ public:
+  /// The zero polynomial over a d-dimensional schema.
+  explicit Polynomial(size_t num_dims) : num_dims_(num_dims) {}
+
+  /// Canonicalizing constructor from raw terms.
+  Polynomial(size_t num_dims, std::vector<Monomial> terms);
+
+  /// p(x) = c.
+  static Polynomial Constant(size_t num_dims, double c);
+  /// p(x) = x_dim.
+  static Polynomial Attribute(size_t num_dims, size_t dim);
+  /// p(x) = x_dim^power.
+  static Polynomial AttributePower(size_t num_dims, size_t dim,
+                                   uint32_t power);
+
+  size_t num_dims() const { return num_dims_; }
+  const std::vector<Monomial>& terms() const { return terms_; }
+  bool IsZero() const { return terms_.empty(); }
+
+  /// Maximum exponent of variable `dim` across terms.
+  uint32_t DegreeIn(size_t dim) const;
+  /// Maximum per-variable degree (the δ of Definition 1, which governs the
+  /// required wavelet filter length 2δ+2).
+  uint32_t MaxVarDegree() const;
+
+  double Evaluate(const Tuple& t) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double c) const;
+
+  /// e.g. "2*x0^2*x3 + 1".
+  std::string ToString() const;
+
+ private:
+  size_t num_dims_;
+  std::vector<Monomial> terms_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_QUERY_POLYNOMIAL_H_

@@ -1,0 +1,67 @@
+#ifndef WAVEBATCH_QUERY_RANGE_H_
+#define WAVEBATCH_QUERY_RANGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/relation.h"
+#include "cube/schema.h"
+#include "util/status.h"
+
+namespace wavebatch {
+
+/// A closed integer interval [lo, hi] within one dimension.
+struct Interval {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  uint64_t length() const { return static_cast<uint64_t>(hi) - lo + 1; }
+  bool Contains(uint32_t x) const { return x >= lo && x <= hi; }
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A hyper-rectangle R ⊂ Dom(F): one closed interval per schema dimension.
+/// Ranges are always full-dimensional; a dimension left unrestricted simply
+/// uses [0, size-1].
+class Range {
+ public:
+  /// Validates intervals against `schema` (one per dimension, lo <= hi < size).
+  static Result<Range> Create(const Schema& schema,
+                              std::vector<Interval> intervals);
+
+  /// The whole domain of `schema`.
+  static Range All(const Schema& schema);
+
+  size_t num_dims() const { return intervals_.size(); }
+  const Interval& interval(size_t dim) const { return intervals_[dim]; }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Number of cells in the hyper-rectangle.
+  uint64_t Volume() const;
+
+  bool Contains(const Tuple& t) const;
+
+  /// Returns a copy with dimension `dim` restricted to [lo, hi] (checked
+  /// against the current interval, not just the schema).
+  Range Restrict(size_t dim, uint32_t lo, uint32_t hi) const;
+
+  /// e.g. "[3,17]x[0,63]".
+  std::string ToString() const;
+
+  friend bool operator==(const Range& a, const Range& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+ private:
+  explicit Range(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_QUERY_RANGE_H_

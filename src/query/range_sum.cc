@@ -1,0 +1,93 @@
+#include "query/range_sum.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+namespace {
+
+// Calls fn(coords) for every cell of `range` (odometer iteration).
+template <typename Fn>
+void ForEachCell(const Range& range, Fn&& fn) {
+  const size_t d = range.num_dims();
+  Tuple coords(d);
+  for (size_t i = 0; i < d; ++i) coords[i] = range.interval(i).lo;
+  for (;;) {
+    fn(coords);
+    size_t dim = d;
+    while (dim-- > 0) {
+      if (coords[dim] < range.interval(dim).hi) {
+        ++coords[dim];
+        break;
+      }
+      coords[dim] = range.interval(dim).lo;
+      if (dim == 0) return;
+    }
+    if (dim == static_cast<size_t>(-1)) return;
+  }
+}
+
+}  // namespace
+
+RangeSumQuery::RangeSumQuery(Range range, Polynomial poly, std::string label)
+    : range_(std::move(range)),
+      poly_(std::move(poly)),
+      label_(std::move(label)) {
+  WB_CHECK_EQ(range_.num_dims(), poly_.num_dims())
+      << "range and polynomial dimensionality mismatch";
+}
+
+RangeSumQuery RangeSumQuery::Count(const Range& range, std::string label) {
+  return RangeSumQuery(range, Polynomial::Constant(range.num_dims(), 1.0),
+                       std::move(label));
+}
+
+RangeSumQuery RangeSumQuery::Sum(const Range& range, size_t dim,
+                                 std::string label) {
+  return RangeSumQuery(range, Polynomial::Attribute(range.num_dims(), dim),
+                       std::move(label));
+}
+
+RangeSumQuery RangeSumQuery::SumProduct(const Range& range, size_t dim_i,
+                                        size_t dim_j, std::string label) {
+  Polynomial p = Polynomial::Attribute(range.num_dims(), dim_i) *
+                 Polynomial::Attribute(range.num_dims(), dim_j);
+  return RangeSumQuery(range, std::move(p), std::move(label));
+}
+
+RangeSumQuery RangeSumQuery::SumPower(const Range& range, size_t dim,
+                                      uint32_t power, std::string label) {
+  return RangeSumQuery(range,
+                       Polynomial::AttributePower(range.num_dims(), dim,
+                                                  power),
+                       std::move(label));
+}
+
+double RangeSumQuery::BruteForce(const Relation& relation) const {
+  double acc = 0.0;
+  for (const Tuple& t : relation.tuples()) {
+    if (range_.Contains(t)) acc += poly_.Evaluate(t);
+  }
+  return acc;
+}
+
+double RangeSumQuery::BruteForce(const DenseCube& delta) const {
+  double acc = 0.0;
+  const Schema& schema = delta.schema();
+  ForEachCell(range_, [&](const Tuple& coords) {
+    const double mass = delta[schema.Pack(coords)];
+    if (mass != 0.0) acc += poly_.Evaluate(coords) * mass;
+  });
+  return acc;
+}
+
+DenseCube RangeSumQuery::ToDenseVector(const Schema& schema) const {
+  WB_CHECK_EQ(schema.num_dims(), range_.num_dims());
+  DenseCube q(schema);
+  ForEachCell(range_, [&](const Tuple& coords) {
+    q[schema.Pack(coords)] = poly_.Evaluate(coords);
+  });
+  return q;
+}
+
+}  // namespace wavebatch

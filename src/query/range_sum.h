@@ -1,0 +1,63 @@
+#ifndef WAVEBATCH_QUERY_RANGE_SUM_H_
+#define WAVEBATCH_QUERY_RANGE_SUM_H_
+
+#include <string>
+
+#include "cube/dense_cube.h"
+#include "cube/relation.h"
+#include "query/polynomial.h"
+#include "query/range.h"
+
+namespace wavebatch {
+
+/// A polynomial range-sum (Definition 1): the vector query
+///     q[x] = p(x) · χ_R(x),   result  ⟨q, Δ⟩ = Σ_{tuples t ∈ R} p(t).
+/// COUNT, SUM, and SUM-OF-PRODUCTS are the p ≡ 1, p = x_i, p = x_i·x_j
+/// instances; AVERAGE / VARIANCE / COVARIANCE are derived from these
+/// (see query/derived.h).
+class RangeSumQuery {
+ public:
+  RangeSumQuery(Range range, Polynomial poly, std::string label = "");
+
+  /// COUNT(R): number of tuples in R.
+  static RangeSumQuery Count(const Range& range, std::string label = "");
+  /// SUM(R, x_dim): sum of attribute `dim` over tuples in R.
+  static RangeSumQuery Sum(const Range& range, size_t dim,
+                           std::string label = "");
+  /// SUM(R, x_i·x_j): sum of the product of two attributes over R.
+  static RangeSumQuery SumProduct(const Range& range, size_t dim_i,
+                                  size_t dim_j, std::string label = "");
+  /// SUM(R, x_dim^power).
+  static RangeSumQuery SumPower(const Range& range, size_t dim,
+                                uint32_t power, std::string label = "");
+
+  const Range& range() const { return range_; }
+  const Polynomial& poly() const { return poly_; }
+  const std::string& label() const { return label_; }
+
+  /// The δ of Definition 1: maximum per-variable degree of p. Determines
+  /// the shortest Daubechies filter (length 2δ+2) with the paper's sparsity
+  /// guarantee.
+  uint32_t MaxVarDegree() const { return poly_.MaxVarDegree(); }
+
+  /// Reference evaluation by scanning the relation: Σ_{t ∈ D, t ∈ R} p(t).
+  double BruteForce(const Relation& relation) const;
+
+  /// Reference evaluation against a materialized frequency distribution:
+  /// Σ_{x ∈ R} p(x)·Δ[x].
+  double BruteForce(const DenseCube& delta) const;
+
+  /// Materializes the query vector q[x] = p(x)·χ_R(x) as a dense cube
+  /// (tests and the Figure 2–4 harness; exponential in d, keep domains
+  /// small).
+  DenseCube ToDenseVector(const Schema& schema) const;
+
+ private:
+  Range range_;
+  Polynomial poly_;
+  std::string label_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_QUERY_RANGE_SUM_H_

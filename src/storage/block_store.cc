@@ -1,0 +1,60 @@
+#include "storage/block_store.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
+                       uint64_t block_size, uint64_t cache_blocks)
+    : inner_(std::move(inner)),
+      block_size_(block_size),
+      cache_blocks_(cache_blocks) {
+  WB_CHECK(inner_ != nullptr);
+  WB_CHECK_GT(block_size_, 0u);
+}
+
+double BlockStore::Peek(uint64_t key) const { return inner_->Peek(key); }
+
+bool BlockStore::Touch(uint64_t block) {
+  auto it = in_cache_.find(block);
+  if (it != in_cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  if (cache_blocks_ > 0) {
+    lru_.push_front(block);
+    in_cache_[block] = lru_.begin();
+    if (lru_.size() > cache_blocks_) {
+      in_cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return false;
+}
+
+double BlockStore::Fetch(uint64_t key) {
+  ++stats_.retrievals;
+  if (Touch(key / block_size_)) {
+    ++stats_.block_hits;
+  } else {
+    ++stats_.block_reads;
+  }
+  return inner_->Peek(key);
+}
+
+void BlockStore::Add(uint64_t key, double delta) { inner_->Add(key, delta); }
+
+uint64_t BlockStore::NumNonZero() const { return inner_->NumNonZero(); }
+
+double BlockStore::SumAbs() const { return inner_->SumAbs(); }
+
+void BlockStore::ForEachNonZero(
+    const std::function<void(uint64_t, double)>& fn) const {
+  inner_->ForEachNonZero(fn);
+}
+
+std::string BlockStore::name() const {
+  return "blocked(" + inner_->name() + ")";
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,55 @@
+#ifndef WAVEBATCH_STORAGE_BLOCK_STORE_H_
+#define WAVEBATCH_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Block-granularity I/O simulation on top of any coefficient store — the
+/// extension the paper's conclusion calls for ("generalize importance
+/// functions to disk blocks rather than individual tuples"). Coefficients
+/// with the same `key / block_size` live on one simulated disk block; a
+/// fetch whose block is not in the LRU buffer costs one block read.
+///
+/// stats().retrievals counts coefficient fetches (comparable to the paper's
+/// metric); stats().block_reads / block_hits expose the block-level cost,
+/// which bench_ablation_blocks sweeps against block size and key layout.
+class BlockStore : public CoefficientStore {
+ public:
+  /// Wraps `inner`. `block_size` is coefficients per block (power of two
+  /// recommended); `cache_blocks` is the LRU buffer capacity in blocks
+  /// (0 = unbuffered: every fetch from a new block is a read).
+  BlockStore(std::unique_ptr<CoefficientStore> inner, uint64_t block_size,
+             uint64_t cache_blocks);
+
+  double Peek(uint64_t key) const override;
+  double Fetch(uint64_t key) override;
+  void Add(uint64_t key, double delta) override;
+  uint64_t NumNonZero() const override;
+  double SumAbs() const override;
+  void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const override;
+  std::string name() const override;
+
+  uint64_t block_size() const { return block_size_; }
+
+ private:
+  /// Records the block access; returns true on cache hit.
+  bool Touch(uint64_t block);
+
+  std::unique_ptr<CoefficientStore> inner_;
+  uint64_t block_size_;
+  uint64_t cache_blocks_;
+  // LRU: most recent at front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> in_cache_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_BLOCK_STORE_H_

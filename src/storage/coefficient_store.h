@@ -1,0 +1,69 @@
+#ifndef WAVEBATCH_STORAGE_COEFFICIENT_STORE_H_
+#define WAVEBATCH_STORAGE_COEFFICIENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wavebatch {
+
+/// I/O accounting for the paper's cost model: every coefficient retrieved
+/// from secondary storage costs one unit (Section 1.3 assumes array- or
+/// hash-based storage with constant-time access to single values and no
+/// block-sharing effects; BlockStore adds the block-granularity model the
+/// paper lists as future work).
+struct IoStats {
+  /// Number of coefficient retrievals (the paper's headline cost metric).
+  uint64_t retrievals = 0;
+  /// Number of simulated disk-block reads (BlockStore only).
+  uint64_t block_reads = 0;
+  /// Block-cache hits (BlockStore only).
+  uint64_t block_hits = 0;
+
+  void Reset() { *this = IoStats{}; }
+};
+
+/// The materialized view Δ̂ (or any other linear transform of Δ): a map from
+/// 64-bit coefficient keys to values with constant-time access. Fetch() is
+/// the *counted* access used by evaluators; Peek() is free and used by
+/// tests, bounds computation, and internal plumbing.
+class CoefficientStore {
+ public:
+  virtual ~CoefficientStore() = default;
+
+  /// Uncounted read of the coefficient at `key` (0 if absent).
+  virtual double Peek(uint64_t key) const = 0;
+
+  /// Counted retrieval: one unit of I/O in the paper's cost model.
+  virtual double Fetch(uint64_t key) {
+    ++stats_.retrievals;
+    return Peek(key);
+  }
+
+  /// Adds `delta` to the coefficient at `key` (the tuple-insertion path).
+  virtual void Add(uint64_t key, double delta) = 0;
+
+  /// Number of stored nonzero coefficients.
+  virtual uint64_t NumNonZero() const = 0;
+
+  /// Σ|v| over stored coefficients — Theorem 1's constant K when the store
+  /// holds Δ̂.
+  virtual double SumAbs() const = 0;
+
+  /// Invokes `fn(key, value)` for every stored nonzero coefficient
+  /// (uncounted; used by compaction, compression baselines, and tests).
+  virtual void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const = 0;
+
+  virtual std::string name() const = 0;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  IoStats stats_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_COEFFICIENT_STORE_H_

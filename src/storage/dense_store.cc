@@ -1,0 +1,40 @@
+#include "storage/dense_store.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+double DenseStore::Peek(uint64_t key) const {
+  WB_CHECK_LT(key, values_.size()) << "key outside dense store capacity";
+  return values_[key];
+}
+
+void DenseStore::Add(uint64_t key, double delta) {
+  WB_CHECK_LT(key, values_.size()) << "key outside dense store capacity";
+  values_[key] += delta;
+}
+
+uint64_t DenseStore::NumNonZero() const {
+  uint64_t n = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++n;
+  }
+  return n;
+}
+
+void DenseStore::ForEachNonZero(
+    const std::function<void(uint64_t, double)>& fn) const {
+  for (uint64_t key = 0; key < values_.size(); ++key) {
+    if (values_[key] != 0.0) fn(key, values_[key]);
+  }
+}
+
+double DenseStore::SumAbs() const {
+  double acc = 0.0;
+  for (double v : values_) acc += std::abs(v);
+  return acc;
+}
+
+}  // namespace wavebatch

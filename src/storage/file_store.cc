@@ -1,0 +1,110 @@
+#include "storage/file_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+Result<std::unique_ptr<FileStore>> FileStore::Create(
+    const std::string& path, const std::vector<double>& values) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  const char* data = reinterpret_cast<const char*>(values.data());
+  size_t remaining = values.size() * sizeof(double);
+  size_t offset = 0;
+  while (remaining > 0) {
+    const ssize_t written = ::pwrite(fd, data + offset, remaining, offset);
+    if (written <= 0) {
+      ::close(fd);
+      return Status::Internal("short write to " + path + ": " +
+                              std::strerror(errno));
+    }
+    offset += static_cast<size_t>(written);
+    remaining -= static_cast<size_t>(written);
+  }
+  return std::unique_ptr<FileStore>(
+      new FileStore(path, fd, values.size()));
+}
+
+Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % static_cast<off_t>(sizeof(double)) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument(path +
+                                   " is not a multiple of sizeof(double)");
+  }
+  return std::unique_ptr<FileStore>(new FileStore(
+      path, fd, static_cast<uint64_t>(size) / sizeof(double)));
+}
+
+FileStore::~FileStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+double FileStore::Peek(uint64_t key) const {
+  WB_CHECK_LT(key, capacity_) << "key outside file store capacity";
+  double value = 0.0;
+  const ssize_t got = ::pread(fd_, &value, sizeof(value),
+                              static_cast<off_t>(key * sizeof(double)));
+  WB_CHECK_EQ(got, static_cast<ssize_t>(sizeof(value)))
+      << "short read from " << path_;
+  return value;
+}
+
+void FileStore::Add(uint64_t key, double delta) {
+  WB_CHECK_LT(key, capacity_) << "key outside file store capacity";
+  const double value = Peek(key) + delta;
+  const ssize_t put = ::pwrite(fd_, &value, sizeof(value),
+                               static_cast<off_t>(key * sizeof(double)));
+  WB_CHECK_EQ(put, static_cast<ssize_t>(sizeof(value)))
+      << "short write to " << path_;
+}
+
+uint64_t FileStore::NumNonZero() const {
+  uint64_t count = 0;
+  ForEachNonZero([&count](uint64_t, double) { ++count; });
+  return count;
+}
+
+double FileStore::SumAbs() const {
+  double acc = 0.0;
+  ForEachNonZero([&acc](uint64_t, double v) { acc += std::abs(v); });
+  return acc;
+}
+
+void FileStore::ForEachNonZero(
+    const std::function<void(uint64_t, double)>& fn) const {
+  // Sequential buffered scan (not counted as random-access I/O).
+  constexpr size_t kBatch = 4096;
+  std::vector<double> buffer(kBatch);
+  uint64_t key = 0;
+  while (key < capacity_) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(kBatch, capacity_ - key));
+    const ssize_t got =
+        ::pread(fd_, buffer.data(), want * sizeof(double),
+                static_cast<off_t>(key * sizeof(double)));
+    WB_CHECK_EQ(got, static_cast<ssize_t>(want * sizeof(double)));
+    for (size_t i = 0; i < want; ++i) {
+      if (buffer[i] != 0.0) fn(key + i, buffer[i]);
+    }
+    key += want;
+  }
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,39 @@
+#include "storage/memory_store.h"
+
+#include <cmath>
+
+namespace wavebatch {
+
+HashStore::HashStore(const SparseVec& coefficients) {
+  map_.reserve(coefficients.size());
+  for (const SparseEntry& e : coefficients) map_.emplace(e.key, e.value);
+}
+
+double HashStore::Peek(uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0.0 : it->second;
+}
+
+void HashStore::Add(uint64_t key, double delta) {
+  if (delta == 0.0) return;
+  auto [it, inserted] = map_.try_emplace(key, delta);
+  if (!inserted) {
+    it->second += delta;
+    if (it->second == 0.0) map_.erase(it);
+  }
+}
+
+uint64_t HashStore::NumNonZero() const { return map_.size(); }
+
+void HashStore::ForEachNonZero(
+    const std::function<void(uint64_t, double)>& fn) const {
+  for (const auto& [key, value] : map_) fn(key, value);
+}
+
+double HashStore::SumAbs() const {
+  double acc = 0.0;
+  for (const auto& [key, value] : map_) acc += std::abs(value);
+  return acc;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,38 @@
+#ifndef WAVEBATCH_STORAGE_MEMORY_STORE_H_
+#define WAVEBATCH_STORAGE_MEMORY_STORE_H_
+
+#include <unordered_map>
+
+#include "storage/coefficient_store.h"
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// Hash-based coefficient store — the paper's "hash-based storage that
+/// allows constant-time access to any single value". Holds only nonzero
+/// coefficients, so it is the right backend for sparse transformed data
+/// over large domains and for incrementally maintained views.
+class HashStore : public CoefficientStore {
+ public:
+  HashStore() = default;
+
+  /// Bulk-loads from a sparse vector.
+  explicit HashStore(const SparseVec& coefficients);
+
+  double Peek(uint64_t key) const override;
+  void Add(uint64_t key, double delta) override;
+  uint64_t NumNonZero() const override;
+  double SumAbs() const override;
+  void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const override;
+  std::string name() const override { return "hash"; }
+
+  const std::unordered_map<uint64_t, double>& map() const { return map_; }
+
+ private:
+  std::unordered_map<uint64_t, double> map_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_MEMORY_STORE_H_

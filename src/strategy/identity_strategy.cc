@@ -1,0 +1,59 @@
+#include "strategy/identity_strategy.h"
+
+#include "storage/memory_store.h"
+#include "util/check.h"
+
+namespace wavebatch {
+
+Result<SparseVec> IdentityStrategy::TransformQuery(
+    const RangeSumQuery& query) const {
+  if (query.range().num_dims() != schema_.num_dims()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  const size_t d = schema_.num_dims();
+  std::vector<SparseEntry> entries;
+  entries.reserve(query.range().Volume());
+  Tuple coords(d);
+  for (size_t i = 0; i < d; ++i) coords[i] = query.range().interval(i).lo;
+  for (;;) {
+    const double v = query.poly().Evaluate(coords);
+    if (v != 0.0) entries.push_back({schema_.Pack(coords), v});
+    size_t dim = d;
+    bool done = true;
+    while (dim-- > 0) {
+      if (coords[dim] < query.range().interval(dim).hi) {
+        ++coords[dim];
+        done = false;
+        break;
+      }
+      coords[dim] = query.range().interval(dim).lo;
+    }
+    if (done) break;
+  }
+  return SparseVec::FromUnsorted(std::move(entries));
+}
+
+std::unique_ptr<CoefficientStore> IdentityStrategy::BuildStore(
+    const DenseCube& delta) const {
+  WB_CHECK(delta.schema() == schema_);
+  auto store = std::make_unique<HashStore>();
+  for (uint64_t cell = 0; cell < delta.size(); ++cell) {
+    if (delta[cell] != 0.0) store->Add(cell, delta[cell]);
+  }
+  return store;
+}
+
+Status IdentityStrategy::InsertTuple(CoefficientStore& store,
+                                     const Tuple& tuple, double count) const {
+  if (!schema_.Contains(tuple)) {
+    return Status::OutOfRange("tuple outside schema domain");
+  }
+  store.Add(schema_.Pack(tuple), count);
+  return Status::OK();
+}
+
+std::unique_ptr<CoefficientStore> IdentityStrategy::MakeEmptyStore() const {
+  return std::make_unique<HashStore>();
+}
+
+}  // namespace wavebatch

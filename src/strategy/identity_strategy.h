@@ -1,0 +1,31 @@
+#ifndef WAVEBATCH_STRATEGY_IDENTITY_STRATEGY_H_
+#define WAVEBATCH_STRATEGY_IDENTITY_STRATEGY_H_
+
+#include "strategy/linear_strategy.h"
+
+namespace wavebatch {
+
+/// The no-precomputation strategy: the view is Δ itself (T = identity) and
+/// a query's transform-domain representation is the query vector q[x] =
+/// p(x)·χ_R(x) restricted to its range — one retrieval per range cell.
+/// O(1) updates, O(|R|) queries: the opposite end of the trade-off space
+/// from full precomputation, included as the Section 1.2 baseline.
+class IdentityStrategy : public LinearStrategy {
+ public:
+  explicit IdentityStrategy(Schema schema)
+      : LinearStrategy(std::move(schema)) {}
+
+  Result<SparseVec> TransformQuery(const RangeSumQuery& query) const override;
+  std::unique_ptr<CoefficientStore> BuildStore(
+      const DenseCube& delta) const override;
+  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
+                     double count) const override;
+  std::string name() const override { return "identity"; }
+
+ protected:
+  std::unique_ptr<CoefficientStore> MakeEmptyStore() const override;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STRATEGY_IDENTITY_STRATEGY_H_

@@ -1,0 +1,18 @@
+#include "strategy/linear_strategy.h"
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+std::unique_ptr<CoefficientStore> LinearStrategy::BuildStoreFromRelation(
+    const Relation& relation) const {
+  WB_CHECK(relation.schema() == schema_);
+  std::unique_ptr<CoefficientStore> store = MakeEmptyStore();
+  for (const Tuple& t : relation.tuples()) {
+    Status s = InsertTuple(*store, t, 1.0);
+    WB_CHECK(s.ok()) << s;
+  }
+  return store;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,58 @@
+#ifndef WAVEBATCH_STRATEGY_PREFIX_SUM_STRATEGY_H_
+#define WAVEBATCH_STRATEGY_PREFIX_SUM_STRATEGY_H_
+
+#include <vector>
+
+#include "query/batch.h"
+#include "strategy/linear_strategy.h"
+
+namespace wavebatch {
+
+/// The prefix-sum storage strategy of Ho et al. [8], generalized to
+/// polynomial measures: for every supported monomial m_t the view holds the
+/// d-dimensional prefix-sum cube
+///     P_t[y] = Σ_{x ≤ y (componentwise)}  m_t(x) · Δ[x],
+/// and a range-sum over R = Π[lo_i, hi_i] is the alternating sum of at most
+/// 2^d corner values per monomial term (corners with any coordinate at
+/// lo_i − 1 < 0 vanish). Queries are O(2^d) retrievals; updates are
+/// O(N^d) worst case — the inverse trade-off of the wavelet strategy,
+/// reproduced by bench_micro.
+///
+/// Keys are (monomial slot t) << schema.total_bits() | packed cell id.
+class PrefixSumStrategy : public LinearStrategy {
+ public:
+  /// `monomials` lists the exponent vectors (one exponent per dimension)
+  /// this view supports; queries using other monomials fail to rewrite.
+  /// The constant monomial (all-zero exponents) supports COUNT.
+  PrefixSumStrategy(Schema schema,
+                    std::vector<std::vector<uint32_t>> monomials);
+
+  /// Every distinct monomial appearing in the batch's polynomials.
+  static std::vector<std::vector<uint32_t>> CollectMonomials(
+      const QueryBatch& batch);
+
+  Result<SparseVec> TransformQuery(const RangeSumQuery& query) const override;
+  std::unique_ptr<CoefficientStore> BuildStore(
+      const DenseCube& delta) const override;
+  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
+                     double count) const override;
+  std::string name() const override { return "prefix-sum"; }
+
+  size_t num_monomials() const { return monomials_.size(); }
+
+ protected:
+  std::unique_ptr<CoefficientStore> MakeEmptyStore() const override;
+
+ private:
+  /// Slot of the monomial with these exponents, or error.
+  Result<size_t> MonomialSlot(const std::vector<uint32_t>& exponents) const;
+
+  static double EvalMonomial(const std::vector<uint32_t>& exponents,
+                             const Tuple& t);
+
+  std::vector<std::vector<uint32_t>> monomials_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STRATEGY_PREFIX_SUM_STRATEGY_H_

@@ -1,0 +1,120 @@
+#include "strategy/wavelet_strategy.h"
+
+#include <vector>
+
+#include "storage/dense_store.h"
+#include "storage/memory_store.h"
+#include "util/check.h"
+#include "wavelet/dwt_nd.h"
+#include "wavelet/impulse.h"
+#include "wavelet/lazy_query_transform.h"
+#include "wavelet/query_transform.h"
+
+namespace wavebatch {
+
+namespace {
+
+// Expands the tensor product of per-dimension sparse 1-D coefficient lists
+// into `acc`, scaling every product by `coeff`. Keys are packed with the
+// schema's per-dimension bit widths (dimension 0 most significant).
+void ExpandTensorProduct(const Schema& schema,
+                         const std::vector<std::vector<SparseEntry>>& factors,
+                         double coeff, SparseAccumulator& acc) {
+  const size_t d = factors.size();
+  // Iterative odometer over factor indices; running partial keys/values per
+  // dimension avoid recomputing prefixes.
+  std::vector<size_t> idx(d, 0);
+  std::vector<uint64_t> key_prefix(d + 1, 0);
+  std::vector<double> val_prefix(d + 1, 0.0);
+  val_prefix[0] = coeff;
+  for (const auto& f : factors) {
+    if (f.empty()) return;  // a zero factor annihilates the product
+  }
+  size_t dim = 0;
+  for (;;) {
+    // Fill prefixes from `dim` to the end.
+    for (size_t i = dim; i < d; ++i) {
+      const SparseEntry& e = factors[i][idx[i]];
+      key_prefix[i + 1] = (key_prefix[i] << schema.bits(i)) | e.key;
+      val_prefix[i + 1] = val_prefix[i] * e.value;
+    }
+    acc.Add(key_prefix[d], val_prefix[d]);
+    // Advance the odometer (last dimension fastest).
+    size_t i = d;
+    while (i-- > 0) {
+      if (++idx[i] < factors[i].size()) break;
+      idx[i] = 0;
+      if (i == 0) return;
+    }
+    dim = i;
+  }
+}
+
+}  // namespace
+
+WaveletStrategy::WaveletStrategy(Schema schema, WaveletKind kind)
+    : LinearStrategy(std::move(schema)), filter_(WaveletFilter::Get(kind)) {}
+
+Result<SparseVec> WaveletStrategy::TransformQuery(
+    const RangeSumQuery& query) const {
+  if (!(query.range().num_dims() == schema_.num_dims())) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  SparseAccumulator acc;
+  for (const Monomial& term : query.poly().terms()) {
+    std::vector<std::vector<SparseEntry>> factors(schema_.num_dims());
+    for (size_t i = 0; i < schema_.num_dims(); ++i) {
+      const Interval& iv = query.range().interval(i);
+      // O(L² log N) pruned cascade; falls back to the dense transform for
+      // degrees beyond the filter's vanishing moments.
+      factors[i] = LazyRangeMonomialDwt1D(schema_.dim(i).size, iv.lo, iv.hi,
+                                          term.exponents[i], filter_);
+    }
+    ExpandTensorProduct(schema_, factors, term.coeff, acc);
+  }
+  // Cross-term cancellation can produce numerically-zero entries; sweep
+  // them with the same relative threshold the 1-D transforms use.
+  double max_abs = 0.0;
+  for (const auto& [key, value] : acc.map()) {
+    max_abs = std::max(max_abs, std::abs(value));
+  }
+  return acc.ToVec(max_abs * kQueryCoefficientRelEps);
+}
+
+std::unique_ptr<CoefficientStore> WaveletStrategy::BuildStore(
+    const DenseCube& delta) const {
+  WB_CHECK(delta.schema() == schema_);
+  DenseCube transformed = delta;
+  ForwardDwtNd(transformed, filter_);
+  std::vector<double> values(transformed.values().begin(),
+                             transformed.values().end());
+  return std::make_unique<DenseStore>(std::move(values));
+}
+
+Status WaveletStrategy::InsertTuple(CoefficientStore& store,
+                                    const Tuple& tuple, double count) const {
+  if (!schema_.Contains(tuple)) {
+    return Status::OutOfRange("tuple outside schema domain");
+  }
+  std::vector<std::vector<SparseEntry>> factors(schema_.num_dims());
+  for (size_t i = 0; i < schema_.num_dims(); ++i) {
+    factors[i] =
+        SparseImpulseDwt1D(schema_.dim(i).size, tuple[i], 1.0, filter_);
+  }
+  SparseAccumulator acc;
+  ExpandTensorProduct(schema_, factors, count, acc);
+  for (const auto& [key, value] : acc.map()) {
+    store.Add(key, value);
+  }
+  return Status::OK();
+}
+
+std::string WaveletStrategy::name() const {
+  return std::string("wavelet-") + filter_.name();
+}
+
+std::unique_ptr<CoefficientStore> WaveletStrategy::MakeEmptyStore() const {
+  return std::make_unique<HashStore>();
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,47 @@
+#ifndef WAVEBATCH_STRATEGY_WAVELET_STRATEGY_H_
+#define WAVEBATCH_STRATEGY_WAVELET_STRATEGY_H_
+
+#include "strategy/linear_strategy.h"
+#include "wavelet/filters.h"
+
+namespace wavebatch {
+
+/// The paper's primary strategy: the view is the standard d-dimensional
+/// orthonormal DWT of Δ; query vectors are rewritten by transforming each
+/// separable monomial factor per dimension and expanding the tensor
+/// product. With a Daubechies filter of length 2δ+2 and per-variable
+/// degree ≤ δ, the rewritten query has O((4δ+2)^d log^d N) nonzeros and a
+/// tuple insertion touches O((2δ+2)^d log^d N) view coefficients.
+///
+/// Coefficient keys pack the per-dimension wavelet indices with the same
+/// bit layout Schema::Pack uses for cells.
+class WaveletStrategy : public LinearStrategy {
+ public:
+  WaveletStrategy(Schema schema, WaveletKind kind);
+
+  const WaveletFilter& filter() const { return filter_; }
+
+  Result<SparseVec> TransformQuery(const RangeSumQuery& query) const override;
+
+  /// Dense build: transforms a copy of Δ and stores it as a DenseStore
+  /// (array-based storage; exact, memory ∝ domain cells).
+  std::unique_ptr<CoefficientStore> BuildStore(
+      const DenseCube& delta) const override;
+
+  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
+                     double count) const override;
+
+  std::string name() const override;
+
+ protected:
+  /// Empty HashStore: the streaming/sparse build path stores only nonzero
+  /// coefficients, so memory ∝ wavelet support of the data, not the domain.
+  std::unique_ptr<CoefficientStore> MakeEmptyStore() const override;
+
+ private:
+  const WaveletFilter& filter_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STRATEGY_WAVELET_STRATEGY_H_

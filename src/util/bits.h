@@ -1,0 +1,36 @@
+#ifndef WAVEBATCH_UTIL_BITS_H_
+#define WAVEBATCH_UTIL_BITS_H_
+
+#include <cstdint>
+
+namespace wavebatch {
+
+/// True iff `n` is a (positive) power of two.
+constexpr bool IsPowerOfTwo(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Floor of log2(n); `n` must be nonzero.
+constexpr uint32_t FloorLog2(uint64_t n) {
+  uint32_t r = 0;
+  while (n >>= 1) ++r;
+  return r;
+}
+
+/// Exact log2 of a power of two.
+constexpr uint32_t ExactLog2(uint64_t n) { return FloorLog2(n); }
+
+/// Smallest power of two >= n (n >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Euclidean (always non-negative) modulo for signed operands; `m > 0`.
+constexpr int64_t EuclidMod(int64_t a, int64_t m) {
+  int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_BITS_H_

@@ -1,0 +1,63 @@
+#ifndef WAVEBATCH_UTIL_CHECK_H_
+#define WAVEBATCH_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace wavebatch {
+namespace internal_check {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used only via the WB_CHECK family below; programmer errors (violated
+/// invariants) are not recoverable conditions, so they terminate.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "WB_CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when the check passes.
+struct CheckVoidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace wavebatch
+
+/// Aborts with a diagnostic when `cond` is false. Additional context can be
+/// streamed: `WB_CHECK(n > 0) << "n=" << n;`
+#define WB_CHECK(cond)                            \
+  (cond) ? (void)0                                \
+         : ::wavebatch::internal_check::CheckVoidify() & \
+               ::wavebatch::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define WB_CHECK_EQ(a, b) WB_CHECK((a) == (b))
+#define WB_CHECK_NE(a, b) WB_CHECK((a) != (b))
+#define WB_CHECK_LT(a, b) WB_CHECK((a) < (b))
+#define WB_CHECK_LE(a, b) WB_CHECK((a) <= (b))
+#define WB_CHECK_GT(a, b) WB_CHECK((a) > (b))
+#define WB_CHECK_GE(a, b) WB_CHECK((a) >= (b))
+
+/// Like WB_CHECK but compiled out in NDEBUG builds; use on hot paths.
+#ifdef NDEBUG
+#define WB_DCHECK(cond) WB_CHECK(true)
+#else
+#define WB_DCHECK(cond) WB_CHECK(cond)
+#endif
+
+#endif  // WAVEBATCH_UTIL_CHECK_H_

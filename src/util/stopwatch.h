@@ -1,0 +1,28 @@
+#ifndef WAVEBATCH_UTIL_STOPWATCH_H_
+#define WAVEBATCH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace wavebatch {
+
+/// Wall-clock stopwatch for coarse harness timings (benches use
+/// google-benchmark for precise numbers; this is for progress reporting).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_STOPWATCH_H_

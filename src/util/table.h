@@ -1,0 +1,42 @@
+#ifndef WAVEBATCH_UTIL_TABLE_H_
+#define WAVEBATCH_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wavebatch {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for terminal output of the benchmark harnesses) or as CSV
+/// (for plotting the figures the paper reports).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders an aligned, boxed ASCII table.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` significant digits (benchmark reporting).
+std::string FormatDouble(double v, int digits = 6);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_TABLE_H_

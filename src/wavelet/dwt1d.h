@@ -1,0 +1,41 @@
+#ifndef WAVEBATCH_WAVELET_DWT1D_H_
+#define WAVEBATCH_WAVELET_DWT1D_H_
+
+#include <cstdint>
+#include <span>
+
+#include "wavelet/filters.h"
+
+namespace wavebatch {
+
+/// In-place full periodic orthonormal DWT of `data` (length a power of two).
+///
+/// Layout after the call (the "dyadic" layout used throughout wavebatch):
+///   data[0]                 — the single coarsest scaling coefficient
+///   data[2^l .. 2^(l+1))    — detail coefficients at depth l, where l = 0
+///                             is the coarsest band and l = log2(n)-1 the
+///                             finest.
+/// The transform is orthonormal at every level (periodized filters), so it
+/// preserves inner products — the property Equation (1)/(2) of the paper
+/// relies on.
+void ForwardDwt1D(std::span<double> data, const WaveletFilter& filter);
+
+/// Inverse of ForwardDwt1D (exact up to floating-point roundoff).
+void InverseDwt1D(std::span<double> data, const WaveletFilter& filter);
+
+/// Identifies what a flat index in the dyadic layout refers to.
+struct WaveletIndex1D {
+  bool is_scaling;  // true only for flat index 0
+  uint32_t depth;   // 0 = coarsest detail band; meaningless for scaling
+  uint32_t pos;     // translate within the band
+};
+
+/// Decodes `flat` (in [0, 2^log2n)) into band/position form.
+WaveletIndex1D DecodeWaveletIndex(uint64_t flat);
+
+/// Inverse of DecodeWaveletIndex.
+uint64_t EncodeWaveletIndex(const WaveletIndex1D& idx);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_DWT1D_H_

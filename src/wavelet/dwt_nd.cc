@@ -1,0 +1,50 @@
+#include "wavelet/dwt_nd.h"
+
+#include <vector>
+
+namespace wavebatch {
+
+namespace {
+
+// Applies `transform` to every axis-aligned line of `cube` along dimension
+// `dim`. The cube is viewed as [pre][n][post] with `n` the dimension's size.
+template <typename Fn>
+void ForEachLine(DenseCube& cube, size_t dim, Fn&& transform) {
+  const Schema& schema = cube.schema();
+  const size_t n = schema.dim(dim).size;
+  uint64_t pre = 1, post = 1;
+  for (size_t i = 0; i < dim; ++i) pre *= schema.dim(i).size;
+  for (size_t i = dim + 1; i < schema.num_dims(); ++i) {
+    post *= schema.dim(i).size;
+  }
+  std::span<double> values = cube.values();
+  std::vector<double> line(n);
+  for (uint64_t p = 0; p < pre; ++p) {
+    for (uint64_t q = 0; q < post; ++q) {
+      const uint64_t base = p * n * post + q;
+      for (size_t j = 0; j < n; ++j) line[j] = values[base + j * post];
+      transform(std::span<double>(line));
+      for (size_t j = 0; j < n; ++j) values[base + j * post] = line[j];
+    }
+  }
+}
+
+}  // namespace
+
+void ForwardDwtNd(DenseCube& cube, const WaveletFilter& filter) {
+  for (size_t dim = 0; dim < cube.schema().num_dims(); ++dim) {
+    ForEachLine(cube, dim, [&filter](std::span<double> line) {
+      ForwardDwt1D(line, filter);
+    });
+  }
+}
+
+void InverseDwtNd(DenseCube& cube, const WaveletFilter& filter) {
+  for (size_t dim = 0; dim < cube.schema().num_dims(); ++dim) {
+    ForEachLine(cube, dim, [&filter](std::span<double> line) {
+      InverseDwt1D(line, filter);
+    });
+  }
+}
+
+}  // namespace wavebatch

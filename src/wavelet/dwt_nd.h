@@ -1,0 +1,22 @@
+#ifndef WAVEBATCH_WAVELET_DWT_ND_H_
+#define WAVEBATCH_WAVELET_DWT_ND_H_
+
+#include "cube/dense_cube.h"
+#include "wavelet/dwt1d.h"
+#include "wavelet/filters.h"
+
+namespace wavebatch {
+
+/// In-place standard (tensor-product) d-dimensional DWT of `cube`: the full
+/// 1-D transform of ForwardDwt1D is applied along every axis in turn. The
+/// resulting basis is the tensor product of 1-D wavelet bases, which is what
+/// makes the transform of a separable query vector factor into per-dimension
+/// transforms (Section 3's sparsity bounds rely on this decomposition).
+void ForwardDwtNd(DenseCube& cube, const WaveletFilter& filter);
+
+/// Inverse of ForwardDwtNd.
+void InverseDwtNd(DenseCube& cube, const WaveletFilter& filter);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_DWT_ND_H_

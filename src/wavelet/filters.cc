@@ -1,0 +1,116 @@
+#include "wavelet/filters.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+namespace {
+
+// Orthonormal Daubechies lowpass coefficients (sum = sqrt(2)).
+constexpr double kHaarH[2] = {
+    0.70710678118654752440,
+    0.70710678118654752440,
+};
+
+// (1±sqrt(3))/(4 sqrt(2)) and (3±sqrt(3))/(4 sqrt(2)).
+constexpr double kDb4H[4] = {
+    0.48296291314453414337487159986,
+    0.83651630373780790557529378092,
+    0.22414386804201338102597276224,
+    -0.12940952255126038117444941881,
+};
+
+constexpr double kDb6H[6] = {
+    0.33267055295008261599851158914,
+    0.80689150931109257649449360409,
+    0.45987750211849157009515194215,
+    -0.13501102001025458869638990670,
+    -0.08544127388202666169281916918,
+    0.03522629188570953660274066472,
+};
+
+constexpr double kDb8H[8] = {
+    0.23037781330889650086329118304,
+    0.71484657055291564708992195527,
+    0.63088076792985890788171633830,
+    -0.02798376941685985421141374718,
+    -0.18703481171909308407957067279,
+    0.03084138183556076362721936253,
+    0.03288301166688519973540751355,
+    -0.01059740178506903210488320852,
+};
+
+}  // namespace
+
+WaveletFilter::WaveletFilter(WaveletKind kind, const char* name,
+                             uint32_t length, const double* h)
+    : kind_(kind), name_(name), length_(length), h_(h) {
+  WB_CHECK_LE(length_, 8u);
+  // Quadrature mirror: g[n] = (-1)^n h[L-1-n].
+  for (uint32_t n = 0; n < length_; ++n) {
+    g_[n] = ((n & 1) ? -1.0 : 1.0) * h_[length_ - 1 - n];
+  }
+}
+
+const WaveletFilter& WaveletFilter::Get(WaveletKind kind) {
+  static const WaveletFilter* const kHaarFilter =
+      new WaveletFilter(WaveletKind::kHaar, "haar", 2, kHaarH);
+  static const WaveletFilter* const kDb4Filter =
+      new WaveletFilter(WaveletKind::kDb4, "db4", 4, kDb4H);
+  static const WaveletFilter* const kDb6Filter =
+      new WaveletFilter(WaveletKind::kDb6, "db6", 6, kDb6H);
+  static const WaveletFilter* const kDb8Filter =
+      new WaveletFilter(WaveletKind::kDb8, "db8", 8, kDb8H);
+  switch (kind) {
+    case WaveletKind::kHaar:
+      return *kHaarFilter;
+    case WaveletKind::kDb4:
+      return *kDb4Filter;
+    case WaveletKind::kDb6:
+      return *kDb6Filter;
+    case WaveletKind::kDb8:
+      return *kDb8Filter;
+  }
+  WB_CHECK(false) << "unknown WaveletKind";
+  return *kHaarFilter;
+}
+
+const WaveletFilter& WaveletFilter::ForDegree(uint32_t degree) {
+  switch (degree) {
+    case 0:
+      return Get(WaveletKind::kHaar);
+    case 1:
+      return Get(WaveletKind::kDb4);
+    case 2:
+      return Get(WaveletKind::kDb6);
+    case 3:
+      return Get(WaveletKind::kDb8);
+    default:
+      WB_CHECK(false) << "no built-in filter for polynomial degree " << degree
+                      << " (max 3)";
+  }
+  return Get(WaveletKind::kHaar);
+}
+
+bool ParseWaveletKind(const std::string& text, WaveletKind* out) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "haar" || t == "db2") {
+    *out = WaveletKind::kHaar;
+  } else if (t == "db4") {
+    *out = WaveletKind::kDb4;
+  } else if (t == "db6") {
+    *out = WaveletKind::kDb6;
+  } else if (t == "db8") {
+    *out = WaveletKind::kDb8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wavebatch

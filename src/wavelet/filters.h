@@ -1,0 +1,64 @@
+#ifndef WAVEBATCH_WAVELET_FILTERS_H_
+#define WAVEBATCH_WAVELET_FILTERS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace wavebatch {
+
+/// Supported orthonormal wavelet families. Naming follows the paper: the
+/// number is the *filter length* L, so kDb4 is the Daubechies filter with 4
+/// taps (2 vanishing moments). A filter of length L = 2δ+2 evaluates
+/// polynomial range-sums of per-variable degree ≤ δ with the sparse-query
+/// guarantees of Section 3.1 (Haar = kDb2 handles COUNT, kDb4 handles
+/// degree-1 SUMs, etc.).
+enum class WaveletKind : uint8_t {
+  kHaar = 0,  // length 2, 1 vanishing moment
+  kDb4,       // length 4, 2 vanishing moments
+  kDb6,       // length 6, 3 vanishing moments
+  kDb8,       // length 8, 4 vanishing moments
+};
+
+/// An orthonormal two-channel filter bank: lowpass h and the quadrature
+/// mirror highpass g[n] = (-1)^n h[L-1-n].
+class WaveletFilter {
+ public:
+  /// The filter bank for `kind`.
+  static const WaveletFilter& Get(WaveletKind kind);
+
+  /// The shortest filter whose vanishing moments annihilate per-variable
+  /// degree-`degree` polynomials: length 2*degree + 2. Fails (checked) for
+  /// degree > 3.
+  static const WaveletFilter& ForDegree(uint32_t degree);
+
+  WaveletKind kind() const { return kind_; }
+  uint32_t length() const { return length_; }
+  /// Number of vanishing moments of the highpass channel (= length/2).
+  uint32_t vanishing_moments() const { return length_ / 2; }
+  /// Highest polynomial degree whose range-sums this filter supports with
+  /// the paper's sparsity bound: vanishing_moments() - 1.
+  uint32_t max_degree() const { return vanishing_moments() - 1; }
+  const char* name() const { return name_; }
+
+  std::span<const double> lowpass() const { return {h_, length_}; }
+  std::span<const double> highpass() const { return {g_, length_}; }
+
+ private:
+  WaveletFilter(WaveletKind kind, const char* name, uint32_t length,
+                const double* h);
+
+  WaveletKind kind_;
+  const char* name_;
+  uint32_t length_;
+  const double* h_;
+  double g_[8];
+};
+
+/// Parses "haar" / "db4" / "db6" / "db8" (case-insensitive); used by bench
+/// harness flags.
+bool ParseWaveletKind(const std::string& text, WaveletKind* out);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_FILTERS_H_

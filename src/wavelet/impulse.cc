@@ -1,0 +1,69 @@
+#include "wavelet/impulse.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace wavebatch {
+
+std::vector<SparseEntry> SparseImpulseDwt1D(uint64_t n, uint32_t x,
+                                            double value,
+                                            const WaveletFilter& filter) {
+  WB_CHECK(IsPowerOfTwo(n));
+  WB_CHECK_LT(static_cast<uint64_t>(x), n);
+  std::vector<SparseEntry> out;
+  if (n == 1) {
+    if (value != 0.0) out.push_back({0, value});
+    return out;
+  }
+  const std::span<const double> h = filter.lowpass();
+  const std::span<const double> g = filter.highpass();
+  const uint32_t len = filter.length();
+
+  // Nonzero scaling coefficients at the current level; starts as the
+  // impulse itself.
+  std::unordered_map<uint64_t, double> scaling;
+  scaling.emplace(x, value);
+  std::unordered_map<uint64_t, double> next_s;
+  std::unordered_map<uint64_t, double> detail;
+
+  for (uint64_t m = n; m >= 2; m >>= 1) {
+    const uint64_t half = m / 2;
+    next_s.clear();
+    detail.clear();
+    // Position p feeds s[k]/d[k] for every filter tap t with
+    // (2k + t) mod m == p, i.e. k = ((p - t) mod m) / 2 for taps with
+    // t ≡ p (mod 2).
+    for (const auto& [p, v] : scaling) {
+      for (uint32_t t = 0; t < len; ++t) {
+        if (((p ^ t) & 1) != 0) continue;  // parity mismatch: no such k
+        const uint64_t k =
+            (static_cast<uint64_t>(EuclidMod(static_cast<int64_t>(p) -
+                                                 static_cast<int64_t>(t),
+                                             static_cast<int64_t>(m)))) /
+            2;
+        next_s[k] += h[t] * v;
+        detail[k] += g[t] * v;
+      }
+    }
+    // Details at this stage land at flat indices [half, m) and are final.
+    for (const auto& [k, v] : detail) {
+      if (v != 0.0) out.push_back({half + k, v});
+    }
+    scaling.swap(next_s);
+  }
+  WB_CHECK_LE(scaling.size(), 1u);
+  for (const auto& [k, v] : scaling) {
+    WB_CHECK_EQ(k, 0u);
+    if (v != 0.0) out.push_back({0, v});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace wavebatch

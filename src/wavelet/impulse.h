@@ -1,0 +1,25 @@
+#ifndef WAVEBATCH_WAVELET_IMPULSE_H_
+#define WAVEBATCH_WAVELET_IMPULSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/filters.h"
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// Sparse full periodic DWT of `value * e_x` (a weighted unit impulse at
+/// position x) over a length-n domain, in the dyadic layout of
+/// ForwardDwt1D. Only the O(L log n) coefficients whose basis functions
+/// cover x are produced — the per-dimension building block of the paper's
+/// O((2δ+2)^d log^d N) tuple-insertion path (Section 2.1).
+///
+/// Entries are returned sorted by flat index.
+std::vector<SparseEntry> SparseImpulseDwt1D(uint64_t n, uint32_t x,
+                                            double value,
+                                            const WaveletFilter& filter);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_IMPULSE_H_

@@ -1,0 +1,211 @@
+#include "wavelet/lazy_query_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "wavelet/dwt1d.h"
+#include "wavelet/query_transform.h"
+
+namespace wavebatch {
+
+namespace {
+
+// Binomial coefficients up to the small degrees we support (degree <= 3,
+// so powers up to 3).
+constexpr double kBinomial[4][4] = {
+    {1, 0, 0, 0},
+    {1, 1, 0, 0},
+    {1, 2, 1, 0},
+    {1, 3, 3, 1},
+};
+
+// A polynomial Σ c_i·x^i of degree <= 3 (coeffs_.size() - 1).
+class SmallPoly {
+ public:
+  explicit SmallPoly(std::vector<double> coeffs)
+      : coeffs_(std::move(coeffs)) {}
+
+  static SmallPoly Monomial(uint32_t degree) {
+    std::vector<double> c(degree + 1, 0.0);
+    c[degree] = 1.0;
+    return SmallPoly(std::move(c));
+  }
+
+  double Eval(double x) const {
+    double acc = 0.0;
+    for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+    return acc;
+  }
+
+  size_t degree() const { return coeffs_.size() - 1; }
+
+  /// The polynomial Q(k) = Σ_t f[t]·P(2k + t): the symbolic effect of one
+  /// decimated filtering step on an interior polynomial.
+  SmallPoly FilterStep(std::span<const double> f) const {
+    const size_t deg = degree();
+    std::vector<double> q(deg + 1, 0.0);
+    // (2k + t)^i = Σ_j C(i,j)·(2k)^j·t^(i-j).
+    for (size_t i = 0; i <= deg; ++i) {
+      if (coeffs_[i] == 0.0) continue;
+      for (size_t j = 0; j <= i; ++j) {
+        double t_moment = 0.0;  // Σ_t f[t]·t^(i-j)
+        for (size_t t = 0; t < f.size(); ++t) {
+          t_moment += f[t] * std::pow(static_cast<double>(t),
+                                      static_cast<double>(i - j));
+        }
+        q[j] += coeffs_[i] * kBinomial[i][j] *
+                std::pow(2.0, static_cast<double>(j)) * t_moment;
+      }
+    }
+    return SmallPoly(std::move(q));
+  }
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+// One cascade level's scaling coefficients in symbolic form: `poly` on the
+// (non-wrapping) interior [int_lo, int_hi], explicit values in `cells`
+// near the range edges, zero elsewhere. `cells` takes precedence where
+// both apply (the values agree; precedence just simplifies Evaluate).
+struct LevelState {
+  uint64_t m = 0;  // current level length
+  std::unordered_map<uint64_t, double> cells;
+  SmallPoly poly{std::vector<double>{0.0}};
+  int64_t int_lo = 0, int_hi = -1;  // empty when int_lo > int_hi
+
+  double Evaluate(uint64_t p) const {
+    auto it = cells.find(p);
+    if (it != cells.end()) return it->second;
+    if (static_cast<int64_t>(p) >= int_lo &&
+        static_cast<int64_t>(p) <= int_hi) {
+      return poly.Eval(static_cast<double>(p));
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+std::vector<SparseEntry> LazyRangeMonomialDwt1D(
+    uint64_t n, uint32_t lo, uint32_t hi, uint32_t degree,
+    const WaveletFilter& filter, LazyTransformStats* stats) {
+  WB_CHECK(IsPowerOfTwo(n));
+  WB_CHECK_LE(lo, hi);
+  WB_CHECK_LT(static_cast<uint64_t>(hi), n);
+  LazyTransformStats local_stats;
+  LazyTransformStats& st = stats ? *stats : local_stats;
+  st = LazyTransformStats{};
+
+  if (degree > filter.max_degree()) {
+    // The interior is not annihilated: the result is dense and the pruned
+    // cascade has no advantage.
+    st.dense_fallback = true;
+    return SparseRangeMonomialDwt1D(n, lo, hi, degree, filter);
+  }
+
+  const std::span<const double> h = filter.lowpass();
+  const std::span<const double> g = filter.highpass();
+  const uint64_t len = filter.length();
+  // Below this length, materializing the level beats the bookkeeping.
+  const uint64_t dense_tail = std::min<uint64_t>(n, 4 * len);
+
+  std::vector<SparseEntry> out;
+  LevelState state;
+  state.m = n;
+  state.poly = SmallPoly::Monomial(degree);
+  state.int_lo = lo;
+  state.int_hi = hi;
+
+  while (state.m > dense_tail) {
+    ++st.symbolic_levels;
+    const uint64_t m = state.m;
+    const uint64_t half = m / 2;
+    const int64_t sm = static_cast<int64_t>(m);
+
+    // Positions whose filter windows need explicit treatment: explicit
+    // cells plus a band of width `len` around both interior edges.
+    std::set<uint64_t> interesting;
+    for (const auto& [p, value] : state.cells) interesting.insert(p);
+    if (state.int_lo <= state.int_hi) {
+      for (int64_t delta = -static_cast<int64_t>(len);
+           delta <= static_cast<int64_t>(len); ++delta) {
+        interesting.insert(
+            static_cast<uint64_t>(EuclidMod(state.int_lo + delta, sm)));
+        interesting.insert(
+            static_cast<uint64_t>(EuclidMod(state.int_hi + delta, sm)));
+      }
+    }
+    // Candidate output indices: every k whose window covers an interesting
+    // position (same index arithmetic as the sparse impulse transform).
+    std::set<uint64_t> candidates;
+    for (uint64_t p : interesting) {
+      for (uint64_t t = 0; t < len; ++t) {
+        if (((p ^ t) & 1) != 0) continue;
+        candidates.insert(static_cast<uint64_t>(EuclidMod(
+                              static_cast<int64_t>(p) -
+                                  static_cast<int64_t>(t),
+                              sm)) /
+                          2);
+      }
+    }
+
+    LevelState next;
+    next.m = half;
+    next.poly = state.poly.FilterStep(h);
+    // New interior: windows fully inside the old interior (no wrap by
+    // construction: 2k + len - 1 <= int_hi < m).
+    if (state.int_lo <= state.int_hi) {
+      next.int_lo = (state.int_lo + 1) / 2;  // ceil(int_lo / 2)
+      next.int_hi = (state.int_hi - static_cast<int64_t>(len) + 1) / 2;
+      if (state.int_hi - static_cast<int64_t>(len) + 1 < 0) next.int_hi = -1;
+    }
+
+    for (uint64_t k : candidates) {
+      double s = 0.0, d = 0.0;
+      for (uint64_t t = 0; t < len; ++t) {
+        const double a = state.Evaluate((2 * k + t) & (m - 1));
+        s += h[t] * a;
+        d += g[t] * a;
+      }
+      st.explicit_evals += 2;
+      next.cells[k] = s;
+      if (d != 0.0) out.push_back({half + k, d});
+    }
+    state = std::move(next);
+  }
+
+  // Dense tail: materialize the remaining level and transform it directly.
+  {
+    std::vector<double> tail(state.m);
+    for (uint64_t p = 0; p < state.m; ++p) tail[p] = state.Evaluate(p);
+    ForwardDwt1D(tail, filter);
+    for (uint64_t i = 0; i < state.m; ++i) {
+      if (tail[i] != 0.0) out.push_back({i, tail[i]});
+    }
+  }
+
+  // Shared relative threshold, as in the dense path.
+  double max_abs = 0.0;
+  for (const SparseEntry& e : out) {
+    max_abs = std::max(max_abs, std::abs(e.value));
+  }
+  const double eps = max_abs * kQueryCoefficientRelEps;
+  std::vector<SparseEntry> kept;
+  kept.reserve(out.size());
+  for (const SparseEntry& e : out) {
+    if (std::abs(e.value) > eps) kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.key < b.key;
+            });
+  return kept;
+}
+
+}  // namespace wavebatch

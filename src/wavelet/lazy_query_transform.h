@@ -1,0 +1,48 @@
+#ifndef WAVEBATCH_WAVELET_LAZY_QUERY_TRANSFORM_H_
+#define WAVEBATCH_WAVELET_LAZY_QUERY_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/filters.h"
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// Work/result statistics of a lazy transform run (for complexity tests
+/// and the micro benchmarks).
+struct LazyTransformStats {
+  /// Scaling/detail coefficients computed explicitly (boundary work).
+  uint64_t explicit_evals = 0;
+  /// Cascade levels processed symbolically.
+  uint32_t symbolic_levels = 0;
+  /// True if the input forced a fallback to the dense transform (degree
+  /// too high for the filter's vanishing moments).
+  bool dense_fallback = false;
+};
+
+/// Sparse DWT of v[x] = x^degree·χ_[lo,hi](x) over a length-n periodic
+/// domain, computed in O(filter_length² · (degree+1) · log n) time — the
+/// complexity Section 3.1 of the paper actually claims — instead of the
+/// O(n) dense transform of SparseRangeMonomialDwt1D.
+///
+/// The cascade keeps each level's scaling coefficients in *symbolic* form:
+/// a polynomial of degree `degree` on the interior of the (shrinking)
+/// range, explicit values in an O(filter_length) band around the two range
+/// edges, and zero elsewhere. Lowpass filtering maps the interior
+/// polynomial to another polynomial of the same degree; highpass
+/// filtering annihilates it (vanishing moments), so only the boundary
+/// bands produce detail coefficients. Once the level is short the
+/// remainder is materialized and transformed densely.
+///
+/// Requires degree <= filter.max_degree(); otherwise the interior is not
+/// annihilated and the routine falls back to the dense transform (stats
+/// record the fallback). Output matches SparseRangeMonomialDwt1D up to the
+/// shared numeric threshold, sorted by flat index.
+std::vector<SparseEntry> LazyRangeMonomialDwt1D(
+    uint64_t n, uint32_t lo, uint32_t hi, uint32_t degree,
+    const WaveletFilter& filter, LazyTransformStats* stats = nullptr);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_LAZY_QUERY_TRANSFORM_H_

@@ -1,0 +1,41 @@
+#include "wavelet/query_transform.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "wavelet/dwt1d.h"
+
+namespace wavebatch {
+
+std::vector<SparseEntry> SparseDwt1D(std::vector<double> dense,
+                                     const WaveletFilter& filter) {
+  WB_CHECK(IsPowerOfTwo(dense.size()));
+  ForwardDwt1D(dense, filter);
+  double max_abs = 0.0;
+  for (double v : dense) max_abs = std::max(max_abs, std::abs(v));
+  const double eps = max_abs * kQueryCoefficientRelEps;
+  std::vector<SparseEntry> out;
+  for (uint64_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > eps) out.push_back({i, dense[i]});
+  }
+  return out;
+}
+
+std::vector<SparseEntry> SparseRangeMonomialDwt1D(
+    uint64_t n, uint32_t lo, uint32_t hi, uint32_t degree,
+    const WaveletFilter& filter) {
+  WB_CHECK(IsPowerOfTwo(n));
+  WB_CHECK_LE(lo, hi);
+  WB_CHECK_LT(static_cast<uint64_t>(hi), n);
+  std::vector<double> dense(n, 0.0);
+  for (uint64_t x = lo; x <= hi; ++x) {
+    dense[x] = degree == 0
+                   ? 1.0
+                   : std::pow(static_cast<double>(x),
+                              static_cast<double>(degree));
+  }
+  return SparseDwt1D(std::move(dense), filter);
+}
+
+}  // namespace wavebatch

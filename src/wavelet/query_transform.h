@@ -1,0 +1,40 @@
+#ifndef WAVEBATCH_WAVELET_QUERY_TRANSFORM_H_
+#define WAVEBATCH_WAVELET_QUERY_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/filters.h"
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// Relative magnitude below which transformed query coefficients are treated
+/// as (numerically) zero. Range-sum query vectors have *exactly* sparse
+/// transforms when the filter has enough vanishing moments; the threshold
+/// only sweeps out roundoff produced by cancellation.
+inline constexpr double kQueryCoefficientRelEps = 1e-12;
+
+/// Sparse DWT of the one-dimensional vector
+///     v[x] = x^degree   for lo <= x <= hi,   0 otherwise
+/// over a length-n periodic domain, in the dyadic layout of ForwardDwt1D.
+///
+/// When filter.max_degree() >= degree, the result has O(filter.length() *
+/// log n) nonzero entries (interior detail coefficients vanish by the
+/// vanishing-moment property); with too short a filter the result is still
+/// exact but dense — the trade-off bench_ablation_wavelets quantifies.
+///
+/// Entries are returned sorted by flat index.
+std::vector<SparseEntry> SparseRangeMonomialDwt1D(uint64_t n, uint32_t lo,
+                                                  uint32_t hi, uint32_t degree,
+                                                  const WaveletFilter& filter);
+
+/// Sparse DWT of an arbitrary length-n vector (dense transform + nonzero
+/// collection with the same relative threshold). Exposed for tests and for
+/// non-monomial 1-D factors.
+std::vector<SparseEntry> SparseDwt1D(std::vector<double> dense,
+                                     const WaveletFilter& filter);
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_QUERY_TRANSFORM_H_

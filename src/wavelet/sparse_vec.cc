@@ -1,0 +1,98 @@
+#include "wavelet/sparse_vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+SparseVec SparseVec::FromUnsorted(std::vector<SparseEntry> entries,
+                                  double eps) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.key < b.key;
+            });
+  std::vector<SparseEntry> merged;
+  merged.reserve(entries.size());
+  for (const SparseEntry& e : entries) {
+    if (!merged.empty() && merged.back().key == e.key) {
+      merged.back().value += e.value;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  std::vector<SparseEntry> kept;
+  kept.reserve(merged.size());
+  for (const SparseEntry& e : merged) {
+    if (std::abs(e.value) > eps) kept.push_back(e);
+  }
+  SparseVec v;
+  v.entries_ = std::move(kept);
+  return v;
+}
+
+SparseVec SparseVec::FromSorted(std::vector<SparseEntry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < entries.size(); ++i) {
+    WB_CHECK_LT(entries[i - 1].key, entries[i].key);
+  }
+  for (const SparseEntry& e : entries) WB_CHECK_NE(e.value, 0.0);
+#endif
+  SparseVec v;
+  v.entries_ = std::move(entries);
+  return v;
+}
+
+double SparseVec::Dot(const SparseVec& other) const {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const uint64_t ka = entries_[i].key;
+    const uint64_t kb = other.entries_[j].key;
+    if (ka == kb) {
+      acc += entries_[i].value * other.entries_[j].value;
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double SparseVec::ValueAt(uint64_t key) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const SparseEntry& e, uint64_t k) {
+                               return e.key < k;
+                             });
+  if (it != entries_.end() && it->key == key) return it->value;
+  return 0.0;
+}
+
+double SparseVec::SumAbs() const {
+  double acc = 0.0;
+  for (const SparseEntry& e : entries_) acc += std::abs(e.value);
+  return acc;
+}
+
+double SparseVec::SumSquares() const {
+  double acc = 0.0;
+  for (const SparseEntry& e : entries_) acc += e.value * e.value;
+  return acc;
+}
+
+void SparseVec::Scale(double c) {
+  for (SparseEntry& e : entries_) e.value *= c;
+}
+
+SparseVec SparseAccumulator::ToVec(double eps) const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(map_.size());
+  for (const auto& [key, value] : map_) entries.push_back({key, value});
+  return SparseVec::FromUnsorted(std::move(entries), eps);
+}
+
+}  // namespace wavebatch

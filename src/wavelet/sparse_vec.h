@@ -1,0 +1,86 @@
+#ifndef WAVEBATCH_WAVELET_SPARSE_VEC_H_
+#define WAVEBATCH_WAVELET_SPARSE_VEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wavebatch {
+
+/// One nonzero coordinate of a sparse vector in a transform domain. The key
+/// identifies a storage-domain coefficient (for the wavelet strategy: the
+/// packed per-dimension wavelet indices; for other linear strategies: that
+/// strategy's cell id).
+struct SparseEntry {
+  uint64_t key;
+  double value;
+
+  friend bool operator==(const SparseEntry& a, const SparseEntry& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// An immutable sparse vector: entries sorted by key, keys unique, values
+/// nonzero. This is the representation of transformed query vectors (q̂) and
+/// of sparse transformed data (Δ̂ built by incremental insertion).
+class SparseVec {
+ public:
+  SparseVec() = default;
+
+  /// Sorts, merges duplicate keys (summing), and drops entries with
+  /// |value| <= eps.
+  static SparseVec FromUnsorted(std::vector<SparseEntry> entries,
+                                double eps = 0.0);
+
+  /// Wraps entries that are already sorted, unique and nonzero (checked in
+  /// debug builds).
+  static SparseVec FromSorted(std::vector<SparseEntry> entries);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const SparseEntry& operator[](size_t i) const { return entries_[i]; }
+  std::vector<SparseEntry>::const_iterator begin() const {
+    return entries_.begin();
+  }
+  std::vector<SparseEntry>::const_iterator end() const {
+    return entries_.end();
+  }
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+
+  /// Inner product with another sparse vector (merge join on keys).
+  double Dot(const SparseVec& other) const;
+
+  /// Returns the value at `key`, or 0 if absent (binary search).
+  double ValueAt(uint64_t key) const;
+
+  double SumAbs() const;
+  double SumSquares() const;
+
+  /// Multiplies all values by c.
+  void Scale(double c);
+
+ private:
+  std::vector<SparseEntry> entries_;
+};
+
+/// Hash-map accumulator for building sparse vectors by scattered additions
+/// (tuple insertions, tensor-product expansion of query coefficients).
+class SparseAccumulator {
+ public:
+  void Add(uint64_t key, double value) { map_[key] += value; }
+  size_t size() const { return map_.size(); }
+  void Reserve(size_t n) { map_.reserve(n); }
+
+  /// Extracts the accumulated vector, dropping |value| <= eps.
+  SparseVec ToVec(double eps = 0.0) const;
+
+  const std::unordered_map<uint64_t, double>& map() const { return map_; }
+
+ private:
+  std::unordered_map<uint64_t, double> map_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_WAVELET_SPARSE_VEC_H_

@@ -1,0 +1,87 @@
+#include <vector>
+
+#include "cube/dense_cube.h"
+#include "cube/relation.h"
+#include "cube/schema.h"
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(DenseCubeTest, ZeroInitialized) {
+  DenseCube cube(Schema::Uniform(2, 4));
+  EXPECT_EQ(cube.size(), 16u);
+  for (uint64_t i = 0; i < cube.size(); ++i) EXPECT_EQ(cube[i], 0.0);
+}
+
+TEST(DenseCubeTest, CoordinateAndLinearAccessAgree) {
+  DenseCube cube(Schema::Uniform(2, 4));
+  std::vector<uint32_t> coords = {2, 3};
+  cube.at(coords) = 5.5;
+  EXPECT_EQ(cube[cube.schema().Pack(coords)], 5.5);
+  EXPECT_EQ(cube.at(coords), 5.5);
+}
+
+TEST(DenseCubeTest, Total) {
+  DenseCube cube(Schema::Uniform(1, 8));
+  for (uint64_t i = 0; i < 8; ++i) cube[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(cube.Total(), 28.0);
+}
+
+TEST(DenseCubeTest, Norms) {
+  DenseCube cube(Schema::Uniform(1, 4));
+  cube[0] = 3.0;
+  cube[1] = -4.0;
+  EXPECT_DOUBLE_EQ(cube.SumSquares(), 25.0);
+  EXPECT_DOUBLE_EQ(cube.SumAbs(), 7.0);
+  EXPECT_EQ(cube.CountNonZero(), 2u);
+}
+
+TEST(DenseCubeTest, Dot) {
+  DenseCube a(Schema::Uniform(1, 4));
+  DenseCube b(Schema::Uniform(1, 4));
+  a[0] = 1.0;
+  a[2] = 2.0;
+  b[0] = 3.0;
+  b[2] = -1.0;
+  b[3] = 100.0;
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+}
+
+TEST(DenseCubeTest, CountNonZeroWithEpsilon) {
+  DenseCube cube(Schema::Uniform(1, 4));
+  cube[0] = 1e-15;
+  cube[1] = 1.0;
+  EXPECT_EQ(cube.CountNonZero(1e-12), 1u);
+  EXPECT_EQ(cube.CountNonZero(0.0), 2u);
+}
+
+TEST(RelationTest, AddAndCount) {
+  Relation r(Schema::Uniform(2, 4));
+  r.Add({1, 2});
+  r.Add({1, 2});
+  r.Add({3, 0});
+  EXPECT_EQ(r.num_tuples(), 3u);
+  EXPECT_EQ(r.tuple(2), (Tuple{3, 0}));
+}
+
+TEST(RelationTest, FrequencyDistributionCountsMultiplicity) {
+  Relation r(Schema::Uniform(2, 4));
+  r.Add({1, 2});
+  r.Add({1, 2});
+  r.Add({3, 0});
+  DenseCube delta = r.FrequencyDistribution();
+  EXPECT_DOUBLE_EQ(delta.at(std::vector<uint32_t>{1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(delta.at(std::vector<uint32_t>{3, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(delta.at(std::vector<uint32_t>{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(delta.Total(), 3.0);
+}
+
+TEST(RelationTest, EmptyFrequencyDistribution) {
+  Relation r(Schema::Uniform(1, 8));
+  DenseCube delta = r.FrequencyDistribution();
+  EXPECT_DOUBLE_EQ(delta.Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,135 @@
+#include "wavelet/dwt1d.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+std::vector<double> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return v;
+}
+
+class Dwt1DTest
+    : public ::testing::TestWithParam<std::tuple<WaveletKind, size_t>> {
+ protected:
+  const WaveletFilter& filter() const {
+    return WaveletFilter::Get(std::get<0>(GetParam()));
+  }
+  size_t n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(Dwt1DTest, RoundTrip) {
+  std::vector<double> v = RandomVector(n(), 101 + n());
+  std::vector<double> w = v;
+  ForwardDwt1D(w, filter());
+  InverseDwt1D(w, filter());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(w[i], v[i], 1e-10) << "index " << i;
+  }
+}
+
+TEST_P(Dwt1DTest, PreservesInnerProducts) {
+  // Orthonormality (Parseval): <a, b> == <â, b̂> — Equation (1)'s engine.
+  std::vector<double> a = RandomVector(n(), 7);
+  std::vector<double> b = RandomVector(n(), 8);
+  double dot = 0.0;
+  for (size_t i = 0; i < n(); ++i) dot += a[i] * b[i];
+  std::vector<double> ah = a, bh = b;
+  ForwardDwt1D(ah, filter());
+  ForwardDwt1D(bh, filter());
+  double dot_hat = 0.0;
+  for (size_t i = 0; i < n(); ++i) dot_hat += ah[i] * bh[i];
+  EXPECT_NEAR(dot, dot_hat, 1e-9 * std::abs(dot) + 1e-9);
+}
+
+TEST_P(Dwt1DTest, PreservesEnergy) {
+  std::vector<double> v = RandomVector(n(), 55);
+  double energy = 0.0;
+  for (double x : v) energy += x * x;
+  ForwardDwt1D(v, filter());
+  double energy_hat = 0.0;
+  for (double x : v) energy_hat += x * x;
+  EXPECT_NEAR(energy, energy_hat, 1e-9 * energy);
+}
+
+TEST_P(Dwt1DTest, ConstantVectorHasSingleCoefficient) {
+  // A constant is periodic-smooth: every detail vanishes and only the
+  // coarsest scaling coefficient survives, with value c·sqrt(n).
+  std::vector<double> v(n(), 3.0);
+  ForwardDwt1D(v, filter());
+  EXPECT_NEAR(v[0], 3.0 * std::sqrt(static_cast<double>(n())), 1e-9);
+  for (size_t i = 1; i < n(); ++i) EXPECT_NEAR(v[i], 0.0, 1e-10);
+}
+
+TEST_P(Dwt1DTest, Linearity) {
+  std::vector<double> a = RandomVector(n(), 1);
+  std::vector<double> b = RandomVector(n(), 2);
+  std::vector<double> combo(n());
+  for (size_t i = 0; i < n(); ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  ForwardDwt1D(a, filter());
+  ForwardDwt1D(b, filter());
+  ForwardDwt1D(combo, filter());
+  for (size_t i = 0; i < n(); ++i) {
+    EXPECT_NEAR(combo[i], 2.0 * a[i] - 3.0 * b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiltersAndSizes, Dwt1DTest,
+    ::testing::Combine(::testing::Values(WaveletKind::kHaar, WaveletKind::kDb4,
+                                         WaveletKind::kDb6, WaveletKind::kDb8),
+                       ::testing::Values<size_t>(2, 4, 8, 32, 128, 512)));
+
+TEST(Dwt1DBasics, LengthOneIsNoOp) {
+  std::vector<double> v = {42.0};
+  ForwardDwt1D(v, WaveletFilter::Get(WaveletKind::kDb4));
+  EXPECT_EQ(v[0], 42.0);
+  InverseDwt1D(v, WaveletFilter::Get(WaveletKind::kDb4));
+  EXPECT_EQ(v[0], 42.0);
+}
+
+TEST(Dwt1DBasics, HaarLengthTwoExplicit) {
+  std::vector<double> v = {1.0, 3.0};
+  ForwardDwt1D(v, WaveletFilter::Get(WaveletKind::kHaar));
+  const double s = std::sqrt(0.5);
+  EXPECT_NEAR(v[0], (1.0 + 3.0) * s, 1e-12);  // scaling
+  EXPECT_NEAR(v[1], (1.0 - 3.0) * s, 1e-12);  // detail
+}
+
+TEST(Dwt1DBasics, HaarImpulseExplicit) {
+  // e_0 of length 4 under Haar: coefficients 1/2, 1/2, 1/sqrt(2), 0.
+  std::vector<double> v = {1.0, 0.0, 0.0, 0.0};
+  ForwardDwt1D(v, WaveletFilter::Get(WaveletKind::kHaar));
+  EXPECT_NEAR(v[0], 0.5, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+  EXPECT_NEAR(v[2], std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(v[3], 0.0, 1e-12);
+}
+
+TEST(WaveletIndexTest, DecodeEncodeRoundTrip) {
+  for (uint64_t flat = 0; flat < 64; ++flat) {
+    WaveletIndex1D idx = DecodeWaveletIndex(flat);
+    EXPECT_EQ(EncodeWaveletIndex(idx), flat);
+  }
+}
+
+TEST(WaveletIndexTest, Structure) {
+  EXPECT_TRUE(DecodeWaveletIndex(0).is_scaling);
+  WaveletIndex1D one = DecodeWaveletIndex(1);
+  EXPECT_FALSE(one.is_scaling);
+  EXPECT_EQ(one.depth, 0u);
+  EXPECT_EQ(one.pos, 0u);
+  WaveletIndex1D six = DecodeWaveletIndex(6);
+  EXPECT_EQ(six.depth, 2u);
+  EXPECT_EQ(six.pos, 2u);
+}
+
+}  // namespace
+}  // namespace wavebatch

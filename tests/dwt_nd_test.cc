@@ -1,0 +1,108 @@
+#include "wavelet/dwt_nd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "wavelet/dwt1d.h"
+
+namespace wavebatch {
+namespace {
+
+DenseCube RandomCube(const Schema& schema, uint64_t seed) {
+  DenseCube cube(schema);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < cube.size(); ++i) cube[i] = rng.Gaussian();
+  return cube;
+}
+
+class DwtNdTest : public ::testing::TestWithParam<WaveletKind> {
+ protected:
+  const WaveletFilter& filter() const {
+    return WaveletFilter::Get(GetParam());
+  }
+};
+
+TEST_P(DwtNdTest, RoundTrip2D) {
+  Schema schema = Schema::Uniform(2, 16);
+  DenseCube cube = RandomCube(schema, 3);
+  DenseCube copy = cube;
+  ForwardDwtNd(copy, filter());
+  InverseDwtNd(copy, filter());
+  for (uint64_t i = 0; i < cube.size(); ++i) {
+    EXPECT_NEAR(copy[i], cube[i], 1e-9);
+  }
+}
+
+TEST_P(DwtNdTest, RoundTrip3DMixedSizes) {
+  Result<Schema> schema = Schema::Create({{"a", 8}, {"b", 4}, {"c", 16}});
+  ASSERT_TRUE(schema.ok());
+  DenseCube cube = RandomCube(*schema, 5);
+  DenseCube copy = cube;
+  ForwardDwtNd(copy, filter());
+  InverseDwtNd(copy, filter());
+  for (uint64_t i = 0; i < cube.size(); ++i) {
+    EXPECT_NEAR(copy[i], cube[i], 1e-9);
+  }
+}
+
+TEST_P(DwtNdTest, PreservesInnerProducts) {
+  Schema schema = Schema::Uniform(3, 8);
+  DenseCube a = RandomCube(schema, 11);
+  DenseCube b = RandomCube(schema, 12);
+  const double dot = a.Dot(b);
+  ForwardDwtNd(a, filter());
+  ForwardDwtNd(b, filter());
+  EXPECT_NEAR(a.Dot(b), dot, 1e-8 * std::abs(dot) + 1e-8);
+}
+
+TEST_P(DwtNdTest, SeparableCubeFactorsIntoTensorProduct) {
+  // For f[x,y] = u[x]·v[y], the standard transform satisfies
+  // f̂[i,j] = û[i]·v̂[j] — the property the sparse query rewrite relies on.
+  const size_t n = 16;
+  Schema schema = Schema::Uniform(2, n);
+  Rng rng(21);
+  std::vector<double> u(n), v(n);
+  for (auto& x : u) x = rng.Gaussian();
+  for (auto& x : v) x = rng.Gaussian();
+  DenseCube cube(schema);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cube.at(std::vector<uint32_t>{static_cast<uint32_t>(i),
+                                    static_cast<uint32_t>(j)}) = u[i] * v[j];
+    }
+  }
+  ForwardDwtNd(cube, filter());
+  std::vector<double> uh = u, vh = v;
+  ForwardDwt1D(uh, filter());
+  ForwardDwt1D(vh, filter());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(cube.at(std::vector<uint32_t>{static_cast<uint32_t>(i),
+                                                static_cast<uint32_t>(j)}),
+                  uh[i] * vh[j], 1e-9);
+    }
+  }
+}
+
+TEST_P(DwtNdTest, ConstantCubeSingleCoefficient) {
+  Schema schema = Schema::Uniform(3, 4);
+  DenseCube cube(schema);
+  for (uint64_t i = 0; i < cube.size(); ++i) cube[i] = 2.0;
+  ForwardDwtNd(cube, filter());
+  EXPECT_NEAR(cube[0], 2.0 * std::sqrt(static_cast<double>(cube.size())),
+              1e-9);
+  for (uint64_t i = 1; i < cube.size(); ++i) {
+    EXPECT_NEAR(cube[i], 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, DwtNdTest,
+                         ::testing::Values(WaveletKind::kHaar,
+                                           WaveletKind::kDb4,
+                                           WaveletKind::kDb6,
+                                           WaveletKind::kDb8));
+
+}  // namespace
+}  // namespace wavebatch

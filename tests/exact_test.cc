@@ -1,0 +1,110 @@
+#include "core/exact.h"
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "strategy/prefix_sum_strategy.h"
+#include "strategy/wavelet_strategy.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+struct Harness {
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel;
+  QueryBatch batch;
+  std::vector<SparseVec> query_coeffs;
+  MasterList list;
+
+  explicit Harness(const LinearStrategy& strategy, size_t num_queries = 8)
+      : rel(MakeUniformRelation(schema, 400, 3)), batch(schema) {
+    Rng rng(5);
+    for (size_t i = 0; i < num_queries; ++i) {
+      std::vector<Interval> ivs;
+      for (size_t d = 0; d < 2; ++d) {
+        uint32_t lo = static_cast<uint32_t>(rng.UniformInt(16));
+        uint32_t hi = lo + static_cast<uint32_t>(rng.UniformInt(16 - lo));
+        ivs.push_back({lo, hi});
+      }
+      batch.Add(RangeSumQuery::Count(
+          Range::Create(schema, ivs).value()));
+    }
+    for (const RangeSumQuery& q : batch.queries()) {
+      query_coeffs.push_back(strategy.TransformQuery(q).value());
+    }
+    list = MasterList::FromQueryVectors(query_coeffs);
+  }
+};
+
+TEST(ExactTest, NaiveAndSharedAgreeWithBruteForce) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kHaar);
+  Harness setup(strategy);
+  auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
+
+  std::vector<double> expected = setup.batch.BruteForce(setup.rel);
+  ExactBatchResult naive = EvaluateNaive(setup.query_coeffs, *store);
+  ExactBatchResult shared = EvaluateShared(setup.list, *store);
+  ASSERT_EQ(naive.results.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(naive.results[i], expected[i], 1e-6 * (1 + expected[i]));
+    EXPECT_NEAR(shared.results[i], expected[i], 1e-6 * (1 + expected[i]));
+  }
+}
+
+TEST(ExactTest, SharedRetrievalCountIsMasterListSize) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kHaar);
+  Harness setup(strategy);
+  auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
+  ExactBatchResult shared = EvaluateShared(setup.list, *store);
+  EXPECT_EQ(shared.retrievals, setup.list.size());
+}
+
+TEST(ExactTest, NaiveRetrievalCountIsSumOfQuerySizes) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kHaar);
+  Harness setup(strategy);
+  auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
+  ExactBatchResult naive = EvaluateNaive(setup.query_coeffs, *store);
+  EXPECT_EQ(naive.retrievals, setup.list.TotalQueryCoefficients());
+}
+
+TEST(ExactTest, SharingNeverIncreasesIo) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kDb4);
+  Harness setup(strategy, 16);
+  auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
+  ExactBatchResult naive = EvaluateNaive(setup.query_coeffs, *store);
+  store->ResetStats();
+  ExactBatchResult shared = EvaluateShared(setup.list, *store);
+  EXPECT_LE(shared.retrievals, naive.retrievals);
+  EXPECT_LT(shared.retrievals, naive.retrievals);  // overlap guaranteed here
+}
+
+TEST(ExactTest, WorksWithPrefixSums) {
+  Schema schema = Schema::Uniform(2, 16);
+  PrefixSumStrategy strategy(schema, {{0, 0}});
+  Harness setup(strategy);
+  auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
+  std::vector<double> expected = setup.batch.BruteForce(setup.rel);
+  ExactBatchResult shared = EvaluateShared(setup.list, *store);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(shared.results[i], expected[i], 1e-9);
+  }
+  // At most 4 corners per 2-D query.
+  EXPECT_LE(shared.retrievals, 4u * setup.batch.size());
+}
+
+TEST(ExactTest, EmptyBatch) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kHaar);
+  auto store = strategy.BuildStore(DenseCube(schema));
+  MasterList list = MasterList::FromQueryVectors({});
+  ExactBatchResult r = EvaluateShared(list, *store);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.retrievals, 0u);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,113 @@
+#include "storage/file_store.h"
+
+#include <cstdio>
+#include <string>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "strategy/wavelet_strategy.h"
+#include "wavelet/dwt_nd.h"
+
+namespace wavebatch {
+namespace {
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/wavebatch_file_store_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FileStoreTest, CreatePeekRoundTrip) {
+  std::vector<double> values = {0.0, 1.5, -2.25, 0.0, 42.0};
+  Result<std::unique_ptr<FileStore>> store = FileStore::Create(path_, values);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->capacity(), 5u);
+  for (uint64_t k = 0; k < values.size(); ++k) {
+    EXPECT_DOUBLE_EQ((*store)->Peek(k), values[k]);
+  }
+  EXPECT_EQ((*store)->NumNonZero(), 3u);
+  EXPECT_DOUBLE_EQ((*store)->SumAbs(), 1.5 + 2.25 + 42.0);
+}
+
+TEST_F(FileStoreTest, ReopenSeesPersistedData) {
+  {
+    Result<std::unique_ptr<FileStore>> store =
+        FileStore::Create(path_, {3.0, 4.0});
+    ASSERT_TRUE(store.ok());
+    (*store)->Add(0, 1.0);
+  }
+  Result<std::unique_ptr<FileStore>> reopened = FileStore::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->capacity(), 2u);
+  EXPECT_DOUBLE_EQ((*reopened)->Peek(0), 4.0);
+  EXPECT_DOUBLE_EQ((*reopened)->Peek(1), 4.0);
+}
+
+TEST_F(FileStoreTest, OpenMissingFileFails) {
+  Result<std::unique_ptr<FileStore>> store =
+      FileStore::Open(path_ + ".does-not-exist");
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileStoreTest, FetchCountsIo) {
+  Result<std::unique_ptr<FileStore>> store =
+      FileStore::Create(path_, {1.0, 2.0});
+  ASSERT_TRUE(store.ok());
+  (*store)->Fetch(0);
+  (*store)->Fetch(1);
+  EXPECT_EQ((*store)->stats().retrievals, 2u);
+}
+
+TEST_F(FileStoreTest, ForEachNonZeroScansEverything) {
+  std::vector<double> values(10000, 0.0);
+  values[7] = 1.0;
+  values[4096] = -1.0;  // crosses the internal scan-buffer boundary
+  values[9999] = 2.0;
+  Result<std::unique_ptr<FileStore>> store = FileStore::Create(path_, values);
+  ASSERT_TRUE(store.ok());
+  std::vector<std::pair<uint64_t, double>> seen;
+  (*store)->ForEachNonZero(
+      [&](uint64_t key, double value) { seen.emplace_back(key, value); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<uint64_t, double>{7, 1.0}));
+  EXPECT_EQ(seen[1], (std::pair<uint64_t, double>{4096, -1.0}));
+  EXPECT_EQ(seen[2], (std::pair<uint64_t, double>{9999, 2.0}));
+}
+
+TEST_F(FileStoreTest, AnswersBatchQueriesLikeInMemoryStore) {
+  // End to end: a wavelet view persisted to disk answers identically to
+  // the in-memory view.
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel = MakeUniformRelation(schema, 300, 13);
+  WaveletStrategy strategy(schema, WaveletKind::kDb4);
+  DenseCube transformed = rel.FrequencyDistribution();
+  ForwardDwtNd(transformed, strategy.filter());
+  std::vector<double> view(transformed.values().begin(),
+                           transformed.values().end());
+  Result<std::unique_ptr<FileStore>> file_store =
+      FileStore::Create(path_, view);
+  ASSERT_TRUE(file_store.ok());
+  auto memory_store = strategy.BuildStore(rel.FrequencyDistribution());
+
+  QueryBatch batch(schema);
+  batch.Add(RangeSumQuery::Count(Range::All(schema).Restrict(0, 3, 12)));
+  batch.Add(RangeSumQuery::Sum(Range::All(schema), 1));
+  MasterList list = MasterList::Build(batch, strategy).value();
+  ExactBatchResult from_file = EvaluateShared(list, **file_store);
+  ExactBatchResult from_memory = EvaluateShared(list, *memory_store);
+  ASSERT_EQ(from_file.results.size(), from_memory.results.size());
+  for (size_t i = 0; i < from_file.results.size(); ++i) {
+    EXPECT_NEAR(from_file.results[i], from_memory.results[i], 1e-9);
+  }
+  EXPECT_EQ(from_file.retrievals, from_memory.retrievals);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,118 @@
+#include "wavelet/filters.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+class FiltersTest : public ::testing::TestWithParam<WaveletKind> {};
+
+TEST_P(FiltersTest, LowpassSumsToSqrt2) {
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  double sum = 0.0;
+  for (double h : f.lowpass()) sum += h;
+  EXPECT_NEAR(sum, std::sqrt(2.0), 1e-12);
+}
+
+TEST_P(FiltersTest, LowpassUnitNorm) {
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  double sum_sq = 0.0;
+  for (double h : f.lowpass()) sum_sq += h * h;
+  EXPECT_NEAR(sum_sq, 1.0, 1e-12);
+}
+
+TEST_P(FiltersTest, EvenLagAutocorrelationVanishes) {
+  // Orthonormality of translates: Σ_n h[n]·h[n+2t] = δ_{t,0}.
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  const auto h = f.lowpass();
+  for (uint32_t t = 1; t < f.length() / 2; ++t) {
+    double acc = 0.0;
+    for (uint32_t n = 0; n + 2 * t < f.length(); ++n) {
+      acc += h[n] * h[n + 2 * t];
+    }
+    EXPECT_NEAR(acc, 0.0, 1e-12) << "lag " << 2 * t;
+  }
+}
+
+TEST_P(FiltersTest, HighpassIsQuadratureMirror) {
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  const auto h = f.lowpass();
+  const auto g = f.highpass();
+  for (uint32_t n = 0; n < f.length(); ++n) {
+    const double expected = ((n & 1) ? -1.0 : 1.0) * h[f.length() - 1 - n];
+    EXPECT_DOUBLE_EQ(g[n], expected);
+  }
+}
+
+TEST_P(FiltersTest, HighpassOrthogonalToLowpass) {
+  // Σ_n h[n]·g[n+2t] = 0 for all t.
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  const auto h = f.lowpass();
+  const auto g = f.highpass();
+  for (int t = -static_cast<int>(f.length()); t <= static_cast<int>(f.length());
+       ++t) {
+    double acc = 0.0;
+    for (int n = 0; n < static_cast<int>(f.length()); ++n) {
+      const int m = n + 2 * t;
+      if (m >= 0 && m < static_cast<int>(f.length())) acc += h[n] * g[m];
+    }
+    EXPECT_NEAR(acc, 0.0, 1e-12) << "lag " << 2 * t;
+  }
+}
+
+TEST_P(FiltersTest, VanishingMoments) {
+  // Σ_n g[n]·n^p = 0 for p = 0 .. vanishing_moments-1. This is the property
+  // that makes interior query coefficients vanish for degree < moments.
+  const WaveletFilter& f = WaveletFilter::Get(GetParam());
+  const auto g = f.highpass();
+  for (uint32_t p = 0; p < f.vanishing_moments(); ++p) {
+    double acc = 0.0;
+    for (uint32_t n = 0; n < f.length(); ++n) {
+      acc += g[n] * std::pow(static_cast<double>(n), static_cast<double>(p));
+    }
+    EXPECT_NEAR(acc, 0.0, 1e-9) << "moment " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, FiltersTest,
+                         ::testing::Values(WaveletKind::kHaar,
+                                           WaveletKind::kDb4,
+                                           WaveletKind::kDb6,
+                                           WaveletKind::kDb8));
+
+TEST(FiltersTest2, LengthsAndMoments) {
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kHaar).length(), 2u);
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kDb4).length(), 4u);
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kDb6).length(), 6u);
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kDb8).length(), 8u);
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kDb4).vanishing_moments(), 2u);
+  EXPECT_EQ(WaveletFilter::Get(WaveletKind::kDb8).max_degree(), 3u);
+}
+
+TEST(FiltersTest2, ForDegreePicksShortestSufficientFilter) {
+  EXPECT_EQ(WaveletFilter::ForDegree(0).kind(), WaveletKind::kHaar);
+  EXPECT_EQ(WaveletFilter::ForDegree(1).kind(), WaveletKind::kDb4);
+  EXPECT_EQ(WaveletFilter::ForDegree(2).kind(), WaveletKind::kDb6);
+  EXPECT_EQ(WaveletFilter::ForDegree(3).kind(), WaveletKind::kDb8);
+  for (uint32_t d = 0; d <= 3; ++d) {
+    EXPECT_GE(WaveletFilter::ForDegree(d).max_degree(), d);
+    EXPECT_EQ(WaveletFilter::ForDegree(d).length(), 2 * d + 2);
+  }
+}
+
+TEST(FiltersTest2, ParseWaveletKind) {
+  WaveletKind k;
+  EXPECT_TRUE(ParseWaveletKind("haar", &k));
+  EXPECT_EQ(k, WaveletKind::kHaar);
+  EXPECT_TRUE(ParseWaveletKind("DB4", &k));
+  EXPECT_EQ(k, WaveletKind::kDb4);
+  EXPECT_TRUE(ParseWaveletKind("db2", &k));
+  EXPECT_EQ(k, WaveletKind::kHaar);
+  EXPECT_FALSE(ParseWaveletKind("db16", &k));
+  EXPECT_FALSE(ParseWaveletKind("", &k));
+}
+
+}  // namespace
+}  // namespace wavebatch

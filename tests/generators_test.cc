@@ -1,0 +1,143 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(TemperatureDatasetTest, SchemaShape) {
+  TemperatureDatasetOptions options;
+  options.num_records = 1000;
+  Relation rel = MakeTemperatureDataset(options);
+  ASSERT_EQ(rel.schema().num_dims(), 5u);
+  EXPECT_EQ(rel.schema().dim(kLat).name, "lat");
+  EXPECT_EQ(rel.schema().dim(kTemp).name, "temp");
+  EXPECT_EQ(rel.schema().dim(kLat).size, options.lat_size);
+  EXPECT_EQ(rel.num_tuples(), 1000u);
+}
+
+TEST(TemperatureDatasetTest, AllTuplesInDomain) {
+  TemperatureDatasetOptions options;
+  options.num_records = 2000;
+  Relation rel = MakeTemperatureDataset(options);
+  for (const Tuple& t : rel.tuples()) {
+    EXPECT_TRUE(rel.schema().Contains(t));
+  }
+}
+
+TEST(TemperatureDatasetTest, Deterministic) {
+  TemperatureDatasetOptions options;
+  options.num_records = 500;
+  Relation a = MakeTemperatureDataset(options);
+  Relation b = MakeTemperatureDataset(options);
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  for (uint64_t i = 0; i < a.num_tuples(); ++i) {
+    EXPECT_EQ(a.tuple(i), b.tuple(i));
+  }
+}
+
+TEST(TemperatureDatasetTest, SeedChangesData) {
+  TemperatureDatasetOptions a_opt, b_opt;
+  a_opt.num_records = b_opt.num_records = 500;
+  b_opt.seed = a_opt.seed + 1;
+  Relation a = MakeTemperatureDataset(a_opt);
+  Relation b = MakeTemperatureDataset(b_opt);
+  bool any_diff = false;
+  for (uint64_t i = 0; i < a.num_tuples(); ++i) {
+    any_diff |= (a.tuple(i) != b.tuple(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TemperatureDatasetTest, EquatorWarmerThanPoles) {
+  TemperatureDatasetOptions options;
+  options.num_records = 20000;
+  Relation rel = MakeTemperatureDataset(options);
+  const uint32_t n_lat = options.lat_size;
+  double polar_sum = 0, polar_n = 0, equator_sum = 0, equator_n = 0;
+  for (const Tuple& t : rel.tuples()) {
+    if (t[kLat] < n_lat / 8 || t[kLat] >= n_lat - n_lat / 8) {
+      polar_sum += t[kTemp];
+      polar_n += 1;
+    } else if (t[kLat] >= 3 * n_lat / 8 && t[kLat] < 5 * n_lat / 8) {
+      equator_sum += t[kTemp];
+      equator_n += 1;
+    }
+  }
+  ASSERT_GT(polar_n, 0);
+  ASSERT_GT(equator_n, 0);
+  EXPECT_GT(equator_sum / equator_n, polar_sum / polar_n + 2.0);
+}
+
+TEST(TemperatureDatasetTest, HighAltitudeColder) {
+  TemperatureDatasetOptions options;
+  options.num_records = 20000;
+  Relation rel = MakeTemperatureDataset(options);
+  double low_sum = 0, low_n = 0, high_sum = 0, high_n = 0;
+  for (const Tuple& t : rel.tuples()) {
+    if (t[kAlt] == 0) {
+      low_sum += t[kTemp];
+      low_n += 1;
+    } else if (t[kAlt] >= options.alt_size / 2) {
+      high_sum += t[kTemp];
+      high_n += 1;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(low_sum / low_n, high_sum / high_n);
+}
+
+TEST(UniformRelationTest, CoversDomainRoughlyEvenly) {
+  Schema schema = Schema::Uniform(1, 8);
+  Relation rel = MakeUniformRelation(schema, 8000, 7);
+  DenseCube delta = rel.FrequencyDistribution();
+  for (uint64_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(delta[c], 1000.0, 250.0);
+  }
+}
+
+TEST(ZipfRelationTest, SkewsTowardOrigin) {
+  Schema schema = Schema::Uniform(1, 16);
+  Relation rel = MakeZipfRelation(schema, 5000, 1.2, 9);
+  DenseCube delta = rel.FrequencyDistribution();
+  EXPECT_GT(delta[0], delta[8] * 3);
+}
+
+TEST(GaussianClustersTest, MassConcentratesNearCenters) {
+  Schema schema = Schema::Uniform(2, 32);
+  Relation rel = MakeGaussianClustersRelation(schema, 5000, 2, 0.05, 11);
+  EXPECT_EQ(rel.num_tuples(), 5000u);
+  // With sigma 5% of the domain and 2 clusters, the occupied support is a
+  // small fraction of all cells.
+  DenseCube delta = rel.FrequencyDistribution();
+  EXPECT_LT(delta.CountNonZero(), delta.size() / 3);
+  for (const Tuple& t : rel.tuples()) {
+    EXPECT_TRUE(schema.Contains(t));
+  }
+}
+
+
+TEST(TemperatureCubeTest, MatchesRelationFrequencyDistribution) {
+  TemperatureDatasetOptions options;
+  options.num_records = 3000;
+  Relation rel = MakeTemperatureDataset(options);
+  DenseCube from_rel = rel.FrequencyDistribution();
+  DenseCube streamed = MakeTemperatureCube(options);
+  ASSERT_TRUE(from_rel.schema() == streamed.schema());
+  for (uint64_t c = 0; c < from_rel.size(); ++c) {
+    EXPECT_EQ(streamed[c], from_rel[c]) << "cell " << c;
+  }
+}
+
+TEST(TemperatureCubeTest, TotalEqualsRecordCount) {
+  TemperatureDatasetOptions options;
+  options.num_records = 12345;
+  DenseCube cube = MakeTemperatureCube(options);
+  EXPECT_DOUBLE_EQ(cube.Total(), 12345.0);
+}
+
+}  // namespace
+}  // namespace wavebatch

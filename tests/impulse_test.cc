@@ -1,0 +1,101 @@
+#include "wavelet/impulse.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "wavelet/dwt1d.h"
+
+namespace wavebatch {
+namespace {
+
+class ImpulseTest
+    : public ::testing::TestWithParam<std::tuple<WaveletKind, size_t>> {
+ protected:
+  const WaveletFilter& filter() const {
+    return WaveletFilter::Get(std::get<0>(GetParam()));
+  }
+  size_t n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ImpulseTest, MatchesDenseTransformAtEveryPosition) {
+  for (uint32_t x = 0; x < n(); ++x) {
+    std::vector<double> dense(n(), 0.0);
+    dense[x] = 1.0;
+    ForwardDwt1D(dense, filter());
+    std::vector<SparseEntry> sparse = SparseImpulseDwt1D(n(), x, 1.0, filter());
+    // Every sparse entry matches the dense value; every dense nonzero is
+    // covered by the sparse result.
+    std::vector<double> reconstructed(n(), 0.0);
+    for (const SparseEntry& e : sparse) {
+      ASSERT_LT(e.key, n());
+      reconstructed[e.key] = e.value;
+    }
+    for (size_t i = 0; i < n(); ++i) {
+      EXPECT_NEAR(reconstructed[i], dense[i], 1e-10)
+          << "x=" << x << " coefficient " << i;
+    }
+  }
+}
+
+TEST_P(ImpulseTest, SortedByKey) {
+  std::vector<SparseEntry> sparse =
+      SparseImpulseDwt1D(n(), static_cast<uint32_t>(n() / 2), 1.0, filter());
+  for (size_t i = 1; i < sparse.size(); ++i) {
+    EXPECT_LT(sparse[i - 1].key, sparse[i].key);
+  }
+}
+
+TEST_P(ImpulseTest, WeightScalesLinearly) {
+  std::vector<SparseEntry> unit = SparseImpulseDwt1D(n(), 1, 1.0, filter());
+  std::vector<SparseEntry> scaled = SparseImpulseDwt1D(n(), 1, -2.5, filter());
+  ASSERT_EQ(unit.size(), scaled.size());
+  for (size_t i = 0; i < unit.size(); ++i) {
+    EXPECT_EQ(unit[i].key, scaled[i].key);
+    EXPECT_NEAR(scaled[i].value, -2.5 * unit[i].value, 1e-12);
+  }
+}
+
+TEST_P(ImpulseTest, SupportIsLogarithmic) {
+  // The paper's update-cost claim: O(L log n) nonzeros per dimension.
+  if (n() < 4) return;
+  const size_t log_n = static_cast<size_t>(std::log2(n()));
+  const size_t bound = filter().length() * log_n + 1;
+  for (uint32_t x = 0; x < n(); x += 3) {
+    std::vector<SparseEntry> sparse = SparseImpulseDwt1D(n(), x, 1.0, filter());
+    EXPECT_LE(sparse.size(), bound) << "x=" << x;
+  }
+}
+
+TEST_P(ImpulseTest, EnergyPreserved) {
+  // ||e_x||² = 1, and the transform is orthonormal.
+  std::vector<SparseEntry> sparse = SparseImpulseDwt1D(
+      n(), static_cast<uint32_t>(n() - 1), 1.0, filter());
+  double energy = 0.0;
+  for (const SparseEntry& e : sparse) energy += e.value * e.value;
+  EXPECT_NEAR(energy, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiltersAndSizes, ImpulseTest,
+    ::testing::Combine(::testing::Values(WaveletKind::kHaar, WaveletKind::kDb4,
+                                         WaveletKind::kDb6, WaveletKind::kDb8),
+                       ::testing::Values<size_t>(2, 4, 16, 64, 256)));
+
+TEST(ImpulseBasics, LengthOneDomain) {
+  std::vector<SparseEntry> sparse =
+      SparseImpulseDwt1D(1, 0, 3.0, WaveletFilter::Get(WaveletKind::kHaar));
+  ASSERT_EQ(sparse.size(), 1u);
+  EXPECT_EQ(sparse[0].key, 0u);
+  EXPECT_EQ(sparse[0].value, 3.0);
+}
+
+TEST(ImpulseBasics, ZeroWeightYieldsNothingOrZeros) {
+  std::vector<SparseEntry> sparse =
+      SparseImpulseDwt1D(8, 3, 0.0, WaveletFilter::Get(WaveletKind::kDb4));
+  for (const SparseEntry& e : sparse) EXPECT_EQ(e.value, 0.0);
+  EXPECT_TRUE(sparse.empty());
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,148 @@
+#include "query/partition.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+// Verifies the cells tile `box` exactly: total volume matches and no two
+// cells overlap (checked per dimension-interval structure).
+void ExpectTiles(const GridPartition& partition, const Range& box) {
+  uint64_t volume = 0;
+  for (const Range& cell : partition.cells()) volume += cell.Volume();
+  EXPECT_EQ(volume, box.Volume());
+  // Disjointness: for any two distinct cells some dimension's intervals are
+  // disjoint.
+  for (size_t a = 0; a < partition.num_cells(); ++a) {
+    for (size_t b = a + 1; b < partition.num_cells(); ++b) {
+      const Range& ra = partition.cell(a);
+      const Range& rb = partition.cell(b);
+      bool disjoint_somewhere = false;
+      for (size_t d = 0; d < ra.num_dims(); ++d) {
+        if (ra.interval(d).hi < rb.interval(d).lo ||
+            rb.interval(d).hi < ra.interval(d).lo) {
+          disjoint_somewhere = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(disjoint_somewhere) << "cells " << a << " and " << b;
+    }
+  }
+}
+
+TEST(GridPartitionTest, UniformTilesDomain) {
+  Schema schema = Schema::Uniform(2, 16);
+  Range all = Range::All(schema);
+  const std::vector<size_t> parts = {4, 2};
+  GridPartition p = GridPartition::Uniform(schema, all, parts);
+  EXPECT_EQ(p.num_cells(), 8u);
+  ExpectTiles(p, all);
+}
+
+TEST(GridPartitionTest, RandomTilesDomain) {
+  Schema schema = Schema::Uniform(3, 16);
+  Range all = Range::All(schema);
+  const std::vector<size_t> parts = {4, 3, 2};
+  Rng rng(7);
+  GridPartition p = GridPartition::Random(schema, all, parts, rng);
+  EXPECT_EQ(p.num_cells(), 24u);
+  ExpectTiles(p, all);
+}
+
+TEST(GridPartitionTest, RandomOfSubBox) {
+  Schema schema = Schema::Uniform(2, 32);
+  Range box = Range::All(schema).Restrict(0, 4, 19).Restrict(1, 8, 15);
+  Rng rng(9);
+  const std::vector<size_t> parts = {4, 2};
+  GridPartition p = GridPartition::Random(schema, box, parts, rng);
+  ExpectTiles(p, box);
+  for (const Range& cell : p.cells()) {
+    EXPECT_GE(cell.interval(0).lo, 4u);
+    EXPECT_LE(cell.interval(0).hi, 19u);
+    EXPECT_GE(cell.interval(1).lo, 8u);
+    EXPECT_LE(cell.interval(1).hi, 15u);
+  }
+}
+
+TEST(GridPartitionTest, SinglePartIsWholeInterval) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {1, 4};
+  GridPartition p = GridPartition::Uniform(schema, Range::All(schema), parts);
+  EXPECT_EQ(p.num_cells(), 4u);
+  for (const Range& cell : p.cells()) {
+    EXPECT_EQ(cell.interval(0).lo, 0u);
+    EXPECT_EQ(cell.interval(0).hi, 7u);
+  }
+}
+
+TEST(GridPartitionTest, MaxPartsGivesUnitCells) {
+  Schema schema = Schema::Uniform(1, 8);
+  Rng rng(3);
+  const std::vector<size_t> parts = {8};
+  GridPartition p = GridPartition::Random(schema, Range::All(schema), parts,
+                                          rng);
+  EXPECT_EQ(p.num_cells(), 8u);
+  for (const Range& cell : p.cells()) EXPECT_EQ(cell.Volume(), 1u);
+}
+
+TEST(GridPartitionTest, CellIndexRoundTrip) {
+  Schema schema = Schema::Uniform(3, 8);
+  const std::vector<size_t> parts = {2, 3, 4};
+  GridPartition p = GridPartition::Uniform(schema, Range::All(schema), parts);
+  for (size_t i = 0; i < p.num_cells(); ++i) {
+    std::vector<size_t> coords = p.GridCoords(i);
+    EXPECT_EQ(p.CellIndex(coords), i);
+  }
+}
+
+TEST(GridPartitionTest, CellsAreRowMajor) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {2, 2};
+  GridPartition p = GridPartition::Uniform(schema, Range::All(schema), parts);
+  // Cell 1 should differ from cell 0 in the *last* dimension.
+  EXPECT_EQ(p.cell(0).interval(0), p.cell(1).interval(0));
+  EXPECT_FALSE(p.cell(0).interval(1) == p.cell(1).interval(1));
+}
+
+TEST(GridPartitionTest, AdjacencyOfGrid) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {3, 4};
+  GridPartition p = GridPartition::Uniform(schema, Range::All(schema), parts);
+  auto edges = p.AdjacentCellPairs();
+  // A 3x4 grid has 2*4 + 3*3 = 17 axis edges.
+  EXPECT_EQ(edges.size(), 17u);
+  std::set<std::pair<size_t, size_t>> unique(edges.begin(), edges.end());
+  EXPECT_EQ(unique.size(), edges.size());
+  for (const auto& [a, b] : edges) {
+    EXPECT_LT(a, b);
+    // Adjacent cells share a boundary in exactly one dimension.
+    auto ca = p.GridCoords(a);
+    auto cb = p.GridCoords(b);
+    int diffs = 0;
+    for (size_t d = 0; d < ca.size(); ++d) {
+      if (ca[d] != cb[d]) {
+        ++diffs;
+        EXPECT_EQ(cb[d], ca[d] + 1);
+      }
+    }
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(GridPartitionTest, DeterministicWithSeed) {
+  Schema schema = Schema::Uniform(2, 32);
+  const std::vector<size_t> parts = {4, 4};
+  Rng rng1(42), rng2(42);
+  GridPartition p1 = GridPartition::Random(schema, Range::All(schema), parts,
+                                           rng1);
+  GridPartition p2 = GridPartition::Random(schema, Range::All(schema), parts,
+                                           rng2);
+  for (size_t i = 0; i < p1.num_cells(); ++i) {
+    EXPECT_TRUE(p1.cell(i) == p2.cell(i));
+  }
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,289 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "penalty/laplacian.h"
+#include "penalty/lp.h"
+#include "penalty/penalty.h"
+#include "penalty/quadratic.h"
+#include "penalty/sse.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+std::vector<double> RandomError(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> e(n);
+  for (double& x : e) x = rng.Gaussian();
+  return e;
+}
+
+TEST(SsePenaltyTest, Value) {
+  SsePenalty p;
+  std::vector<double> e = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(p.Apply(e), 25.0);
+  EXPECT_DOUBLE_EQ(p.HomogeneityDegree(), 2.0);
+  EXPECT_TRUE(p.IsQuadratic());
+}
+
+TEST(WeightedSseTest, Value) {
+  WeightedSsePenalty p({2.0, 0.0, 1.0});
+  std::vector<double> e = {1.0, 100.0, 3.0};
+  // Zero weight declares query 1's error irrelevant.
+  EXPECT_DOUBLE_EQ(p.Apply(e), 2.0 + 9.0);
+}
+
+TEST(CursoredSseTest, PrioritizesHighPrioritySet) {
+  std::vector<size_t> high = {1, 3};
+  WeightedSsePenalty p = CursoredSsePenalty(4, high, 10.0);
+  std::vector<double> e = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(p.Apply(e), 10.0 + 1.0 + 10.0 + 1.0);
+}
+
+TEST(LpPenaltyTest, Values) {
+  std::vector<double> e = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(LpPenalty(1.0).Apply(e), 7.0);
+  EXPECT_DOUBLE_EQ(LpPenalty(2.0).Apply(e), 5.0);
+  EXPECT_NEAR(LpPenalty(3.0).Apply(e), std::cbrt(27.0 + 64.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LpPenalty::Infinity().Apply(e), 4.0);
+  EXPECT_DOUBLE_EQ(LpPenalty(1.5).HomogeneityDegree(), 1.0);
+}
+
+TEST(LpPenaltyTest, Names) {
+  EXPECT_EQ(LpPenalty(2.0).name(), "l2");
+  EXPECT_EQ(LpPenalty::Infinity().name(), "linf");
+}
+
+// Definition 2 properties, checked across the whole penalty zoo.
+class PenaltyAxiomsTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr size_t kN = 6;
+
+  std::unique_ptr<PenaltyFunction> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<SsePenalty>();
+      case 1:
+        return std::make_unique<WeightedSsePenalty>(
+            std::vector<double>{1, 2, 0, 4, 0.5, 3});
+      case 2:
+        return std::make_unique<LpPenalty>(1.0);
+      case 3:
+        return std::make_unique<LpPenalty>(2.5);
+      case 4:
+        return std::make_unique<LpPenalty>(LpPenalty::Infinity());
+      case 5: {
+        std::vector<std::pair<size_t, size_t>> edges = {
+            {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+        return std::make_unique<DifferencePenalty>(kN, edges);
+      }
+      case 6: {
+        std::vector<std::pair<size_t, size_t>> edges = {
+            {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+        return std::make_unique<LaplacianPenalty>(kN, edges);
+      }
+      case 7: {
+        std::vector<std::pair<size_t, size_t>> edges = {
+            {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+        return std::make_unique<SobolevPenalty>(kN, edges, 1.5);
+      }
+      default: {
+        // Random PSD matrix M·Mᵀ.
+        Rng rng(31);
+        std::vector<double> m(kN * kN);
+        for (double& v : m) v = rng.Gaussian();
+        std::vector<double> a(kN * kN, 0.0);
+        for (size_t i = 0; i < kN; ++i) {
+          for (size_t j = 0; j < kN; ++j) {
+            for (size_t k = 0; k < kN; ++k) {
+              a[i * kN + j] += m[i * kN + k] * m[j * kN + k];
+            }
+          }
+        }
+        Result<DenseQuadraticPenalty> r =
+            DenseQuadraticPenalty::Create(kN, std::move(a));
+        EXPECT_TRUE(r.ok()) << r.status();
+        return std::make_unique<DenseQuadraticPenalty>(std::move(r).value());
+      }
+    }
+  }
+};
+
+TEST_P(PenaltyAxiomsTest, NonNegativeAndZeroAtZero) {
+  auto p = Make();
+  std::vector<double> zero(kN, 0.0);
+  EXPECT_DOUBLE_EQ(p->Apply(zero), 0.0);
+  for (int t = 0; t < 30; ++t) {
+    EXPECT_GE(p->Apply(RandomError(kN, 100 + t)), 0.0);
+  }
+}
+
+TEST_P(PenaltyAxiomsTest, Symmetric) {
+  auto p = Make();
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> e = RandomError(kN, 200 + t);
+    std::vector<double> neg(kN);
+    for (size_t i = 0; i < kN; ++i) neg[i] = -e[i];
+    EXPECT_NEAR(p->Apply(e), p->Apply(neg), 1e-12);
+  }
+}
+
+TEST_P(PenaltyAxiomsTest, Homogeneous) {
+  auto p = Make();
+  const double alpha = p->HomogeneityDegree();
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> e = RandomError(kN, 300 + t);
+    const double base = p->Apply(e);
+    for (double c : {0.5, 2.0, -3.0}) {
+      std::vector<double> scaled(kN);
+      for (size_t i = 0; i < kN; ++i) scaled[i] = c * e[i];
+      EXPECT_NEAR(p->Apply(scaled), std::pow(std::abs(c), alpha) * base,
+                  1e-9 * (1.0 + base));
+    }
+  }
+}
+
+TEST_P(PenaltyAxiomsTest, MidpointConvex) {
+  auto p = Make();
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> a = RandomError(kN, 400 + t);
+    std::vector<double> b = RandomError(kN, 500 + t);
+    std::vector<double> mid(kN);
+    for (size_t i = 0; i < kN; ++i) mid[i] = 0.5 * (a[i] + b[i]);
+    EXPECT_LE(p->Apply(mid), 0.5 * (p->Apply(a) + p->Apply(b)) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPenalties, PenaltyAxiomsTest,
+                         ::testing::Range(0, 9));
+
+TEST(DenseQuadraticTest, RejectsNonSquare) {
+  EXPECT_FALSE(DenseQuadraticPenalty::Create(2, {1.0, 2.0}).ok());
+}
+
+TEST(DenseQuadraticTest, RejectsAsymmetric) {
+  EXPECT_FALSE(
+      DenseQuadraticPenalty::Create(2, {1.0, 2.0, 3.0, 1.0}).ok());
+}
+
+TEST(DenseQuadraticTest, RejectsIndefinite) {
+  // Eigenvalues 1 and -1.
+  EXPECT_FALSE(
+      DenseQuadraticPenalty::Create(2, {0.0, 1.0, 1.0, 0.0}).ok());
+  EXPECT_FALSE(
+      DenseQuadraticPenalty::Create(1, {-1.0}).ok());
+}
+
+TEST(DenseQuadraticTest, AcceptsSemiDefinite) {
+  // Rank-1 PSD: [1 1; 1 1].
+  Result<DenseQuadraticPenalty> r =
+      DenseQuadraticPenalty::Create(2, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::vector<double> e = {1.0, -1.0};
+  EXPECT_NEAR(r->Apply(e), 0.0, 1e-12);  // in the null space
+}
+
+TEST(DenseQuadraticTest, MatchesExplicitForm) {
+  Result<DenseQuadraticPenalty> r =
+      DenseQuadraticPenalty::Create(2, {2.0, 1.0, 1.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  std::vector<double> e = {1.0, 2.0};
+  // eᵀAe = 2 + 2·(1·2) + 3·4 = 18.
+  EXPECT_DOUBLE_EQ(r->Apply(e), 18.0);
+}
+
+TEST(DifferencePenaltyTest, MatchesGraphLaplacianForm) {
+  std::vector<std::pair<size_t, size_t>> edges = {{0, 1}, {1, 2}};
+  DifferencePenalty p(3, edges);
+  std::vector<double> e = {1.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(p.Apply(e), 9.0 + 4.0);
+}
+
+TEST(LaplacianPenaltyTest, MatchesExplicitStencil) {
+  std::vector<std::pair<size_t, size_t>> edges = {{0, 1}, {1, 2}};
+  LaplacianPenalty p(3, edges);
+  std::vector<double> e = {1.0, 4.0, 6.0};
+  // (Le)_0 = e1-e0 = 3; (Le)_1 = (e0-e1)+(e2-e1) = -1; (Le)_2 = e1-e2 = -2.
+  EXPECT_DOUBLE_EQ(p.Apply(e), 9.0 + 1.0 + 4.0);
+}
+
+TEST(LaplacianPenaltyTest, ZeroOnConstantErrors) {
+  // Uniform offsets fabricate no local extrema: Laplacian penalty ignores
+  // them (semi-definiteness doing useful work).
+  std::vector<std::pair<size_t, size_t>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  LaplacianPenalty lap(4, edges);
+  DifferencePenalty diff(4, edges);
+  std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(lap.Apply(constant), 0.0);
+  EXPECT_DOUBLE_EQ(diff.Apply(constant), 0.0);
+}
+
+TEST(SobolevPenaltyTest, InterpolatesSseAndDirichlet) {
+  std::vector<std::pair<size_t, size_t>> edges = {{0, 1}, {1, 2}};
+  std::vector<double> e = {1.0, 4.0, 6.0};
+  SobolevPenalty zero_lambda(3, edges, 0.0);
+  EXPECT_DOUBLE_EQ(zero_lambda.Apply(e), 1.0 + 16.0 + 36.0);
+  SobolevPenalty mixed(3, edges, 0.5);
+  EXPECT_DOUBLE_EQ(mixed.Apply(e), 53.0 + 0.5 * (9.0 + 4.0));
+  EXPECT_TRUE(mixed.IsQuadratic());
+  EXPECT_DOUBLE_EQ(mixed.HomogeneityDegree(), 2.0);
+}
+
+TEST(SobolevPenaltyTest, SatisfiesPenaltyAxioms) {
+  std::vector<std::pair<size_t, size_t>> edges = {{0, 1}, {1, 2}, {2, 3}};
+  SobolevPenalty p(4, edges, 2.0);
+  std::vector<double> zero(4, 0.0);
+  EXPECT_DOUBLE_EQ(p.Apply(zero), 0.0);
+  Rng rng(91);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> e = RandomError(4, 900 + t);
+    EXPECT_GE(p.Apply(e), 0.0);
+    std::vector<double> neg(4), twice(4);
+    for (size_t i = 0; i < 4; ++i) {
+      neg[i] = -e[i];
+      twice[i] = 2.0 * e[i];
+    }
+    EXPECT_NEAR(p.Apply(neg), p.Apply(e), 1e-12);
+    EXPECT_NEAR(p.Apply(twice), 4.0 * p.Apply(e), 1e-9 * (1 + p.Apply(e)));
+  }
+}
+
+TEST(SobolevPenaltyTest, ForGridUsesAdjacency) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {2, 2};
+  GridPartition grid =
+      GridPartition::Uniform(schema, Range::All(schema), parts);
+  SobolevPenalty p = SobolevPenalty::ForGrid(grid, 1.0);
+  std::vector<double> e = {0.0, 1.0, 1.0, 0.0};
+  // SSE = 2; 4 grid edges each with difference 1.
+  EXPECT_DOUBLE_EQ(p.Apply(e), 2.0 + 4.0);
+}
+
+TEST(CompositeQuadraticTest, LinearCombination) {
+  SsePenalty sse;
+  WeightedSsePenalty w({2.0, 0.0});
+  CompositeQuadraticPenalty combo;
+  combo.AddTerm(1.0, &sse);
+  combo.AddTerm(0.5, &w);
+  std::vector<double> e = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(combo.Apply(e), (1.0 + 4.0) + 0.5 * 2.0);
+  EXPECT_TRUE(combo.IsQuadratic());
+  EXPECT_DOUBLE_EQ(combo.HomogeneityDegree(), 2.0);
+}
+
+TEST(GridPenaltyTest, ForGridUsesPartitionAdjacency) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {2, 2};
+  GridPartition grid =
+      GridPartition::Uniform(schema, Range::All(schema), parts);
+  DifferencePenalty p = DifferencePenalty::ForGrid(grid);
+  // 2x2 grid: 4 edges.
+  std::vector<double> e = {0.0, 1.0, 1.0, 0.0};
+  // Edges: (0,1),(0,2),(1,3),(2,3) each difference 1.
+  EXPECT_DOUBLE_EQ(p.Apply(e), 4.0);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,93 @@
+#include "query/polynomial.h"
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(PolynomialTest, ZeroByDefault) {
+  Polynomial p(3);
+  EXPECT_TRUE(p.IsZero());
+  EXPECT_EQ(p.MaxVarDegree(), 0u);
+  EXPECT_DOUBLE_EQ(p.Evaluate({1, 2, 3}), 0.0);
+  EXPECT_EQ(p.ToString(), "0");
+}
+
+TEST(PolynomialTest, Constant) {
+  Polynomial p = Polynomial::Constant(2, 5.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate({7, 9}), 5.0);
+  EXPECT_EQ(p.MaxVarDegree(), 0u);
+}
+
+TEST(PolynomialTest, ZeroConstantIsZero) {
+  EXPECT_TRUE(Polynomial::Constant(2, 0.0).IsZero());
+}
+
+TEST(PolynomialTest, Attribute) {
+  Polynomial p = Polynomial::Attribute(3, 1);
+  EXPECT_DOUBLE_EQ(p.Evaluate({7, 9, 2}), 9.0);
+  EXPECT_EQ(p.DegreeIn(1), 1u);
+  EXPECT_EQ(p.DegreeIn(0), 0u);
+}
+
+TEST(PolynomialTest, AttributePower) {
+  Polynomial p = Polynomial::AttributePower(2, 0, 3);
+  EXPECT_DOUBLE_EQ(p.Evaluate({2, 5}), 8.0);
+  EXPECT_EQ(p.MaxVarDegree(), 3u);
+}
+
+TEST(PolynomialTest, CanonicalizationMergesTerms) {
+  Polynomial p(2, {{1.0, {1, 0}}, {2.0, {1, 0}}, {0.5, {0, 1}}});
+  EXPECT_EQ(p.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.Evaluate({2, 4}), 3.0 * 2 + 0.5 * 4);
+}
+
+TEST(PolynomialTest, CanonicalizationDropsZeroCoefficients) {
+  Polynomial p(2, {{1.0, {1, 0}}, {-1.0, {1, 0}}});
+  EXPECT_TRUE(p.IsZero());
+}
+
+TEST(PolynomialTest, Addition) {
+  Polynomial p = Polynomial::Attribute(2, 0) + Polynomial::Constant(2, 1.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate({3, 0}), 4.0);
+  EXPECT_EQ(p.terms().size(), 2u);
+}
+
+TEST(PolynomialTest, Multiplication) {
+  // (x0 + 1)(x1 + 2) = x0·x1 + 2·x0 + x1 + 2.
+  Polynomial a = Polynomial::Attribute(2, 0) + Polynomial::Constant(2, 1.0);
+  Polynomial b = Polynomial::Attribute(2, 1) + Polynomial::Constant(2, 2.0);
+  Polynomial p = a * b;
+  EXPECT_EQ(p.terms().size(), 4u);
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      EXPECT_DOUBLE_EQ(p.Evaluate({x, y}), (x + 1.0) * (y + 2.0));
+    }
+  }
+}
+
+TEST(PolynomialTest, MultiplicationDegreesAdd) {
+  Polynomial p = Polynomial::AttributePower(2, 0, 2) *
+                 Polynomial::AttributePower(2, 0, 1);
+  EXPECT_EQ(p.DegreeIn(0), 3u);
+}
+
+TEST(PolynomialTest, ScalarMultiply) {
+  Polynomial p = Polynomial::Attribute(1, 0) * 3.0;
+  EXPECT_DOUBLE_EQ(p.Evaluate({4}), 12.0);
+  EXPECT_TRUE((p * 0.0).IsZero());
+}
+
+TEST(PolynomialTest, MaxVarDegreeOverTerms) {
+  Polynomial p(3, {{1.0, {2, 0, 0}}, {1.0, {0, 3, 1}}});
+  EXPECT_EQ(p.MaxVarDegree(), 3u);
+  EXPECT_EQ(p.DegreeIn(2), 1u);
+}
+
+TEST(PolynomialTest, ToString) {
+  Polynomial p(2, {{2.0, {2, 1}}, {1.0, {0, 0}}});
+  EXPECT_EQ(p.ToString(), "1.000000 + 2.000000*x0^2*x1");
+}
+
+}  // namespace
+}  // namespace wavebatch

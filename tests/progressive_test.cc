@@ -1,0 +1,187 @@
+#include "core/progressive.h"
+
+#include <memory>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "penalty/sse.h"
+#include "strategy/wavelet_strategy.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+struct Fixture {
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel;
+  QueryBatch batch;
+  MasterList list;
+  std::unique_ptr<CoefficientStore> store;
+  std::vector<double> exact;
+
+  Fixture() : rel(MakeUniformRelation(schema, 500, 3)), batch(schema) {
+    WaveletStrategy strategy(schema, WaveletKind::kHaar);
+    Rng rng(9);
+    for (int i = 0; i < 12; ++i) {
+      uint32_t lo0 = static_cast<uint32_t>(rng.UniformInt(16));
+      uint32_t hi0 = lo0 + static_cast<uint32_t>(rng.UniformInt(16 - lo0));
+      uint32_t lo1 = static_cast<uint32_t>(rng.UniformInt(16));
+      uint32_t hi1 = lo1 + static_cast<uint32_t>(rng.UniformInt(16 - lo1));
+      batch.Add(RangeSumQuery::Count(
+          Range::Create(schema, {{lo0, hi0}, {lo1, hi1}}).value()));
+    }
+    list = MasterList::Build(batch, strategy).value();
+    store = strategy.BuildStore(rel.FrequencyDistribution());
+    exact = batch.BruteForce(rel);
+  }
+};
+
+class ProgressiveOrderTest : public ::testing::TestWithParam<ProgressionOrder> {
+};
+
+TEST_P(ProgressiveOrderTest, CompletesToExactResults) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
+  EXPECT_EQ(ev.StepsTaken(), 0u);
+  ev.RunToCompletion();
+  EXPECT_TRUE(ev.Done());
+  EXPECT_EQ(ev.StepsTaken(), f.list.size());
+  for (size_t i = 0; i < f.exact.size(); ++i) {
+    EXPECT_NEAR(ev.Estimates()[i], f.exact[i],
+                1e-6 * (1.0 + std::abs(f.exact[i])));
+  }
+}
+
+TEST_P(ProgressiveOrderTest, EveryCoefficientFetchedExactlyOnce) {
+  Fixture f;
+  SsePenalty sse;
+  f.store->ResetStats();
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
+  ev.RunToCompletion();
+  EXPECT_EQ(f.store->stats().retrievals, f.list.size());
+}
+
+TEST_P(ProgressiveOrderTest, NextImportanceZeroWhenDone) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
+  ev.RunToCompletion();
+  EXPECT_EQ(ev.NextImportance(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, ProgressiveOrderTest,
+                         ::testing::Values(ProgressionOrder::kBiggestB,
+                                           ProgressionOrder::kRoundRobin,
+                                           ProgressionOrder::kRandom,
+                                           ProgressionOrder::kKeyOrder));
+
+TEST(ProgressiveTest, BiggestBRetrievesInDecreasingImportance) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  double prev = ev.NextImportance();
+  while (!ev.Done()) {
+    const double next = ev.NextImportance();
+    EXPECT_LE(next, prev + 1e-12);
+    prev = next;
+    ev.Step();
+  }
+}
+
+TEST(ProgressiveTest, StepReturnsConsumedEntry) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  const double top = ev.NextImportance();
+  const size_t idx = ev.Step();
+  EXPECT_DOUBLE_EQ(ev.ImportanceOf(idx), top);
+}
+
+TEST(ProgressiveTest, StepManyStopsAtCompletion) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ev.StepMany(f.list.size() * 10);
+  EXPECT_TRUE(ev.Done());
+}
+
+TEST(ProgressiveTest, PartialEstimatesAreBTermApproximations) {
+  // After B steps the estimate equals the inner product of the B-term
+  // truncated query with the data (cross-check against manual truncation).
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  const size_t b = f.list.size() / 3;
+  std::vector<size_t> used;
+  for (size_t i = 0; i < b; ++i) used.push_back(ev.Step());
+  std::vector<double> manual(f.batch.size(), 0.0);
+  for (size_t idx : used) {
+    const MasterEntry& e = f.list.entry(idx);
+    const double data = f.store->Peek(e.key);
+    for (const auto& [q, c] : e.uses) manual[q] += c * data;
+  }
+  for (size_t q = 0; q < manual.size(); ++q) {
+    EXPECT_NEAR(ev.Estimates()[q], manual[q], 1e-9);
+  }
+}
+
+TEST(ProgressiveTest, WorstCaseBoundDominatesActualPenalty) {
+  // Theorem 1: for the biggest-B progression, the SSE of the current
+  // estimate never exceeds K²·ι(ξ′) where K = Σ|Δ̂|.
+  Fixture f;
+  SsePenalty sse;
+  const double k = f.store->SumAbs();
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  while (!ev.Done()) {
+    std::vector<double> err(f.exact.size());
+    for (size_t i = 0; i < err.size(); ++i) {
+      err[i] = ev.Estimates()[i] - f.exact[i];
+    }
+    // Allow for the tiny coefficients the rewrite thresholds away.
+    EXPECT_LE(sse.Apply(err), ev.WorstCaseBound(k) + 1e-5 * (1.0 + k * k));
+    ev.StepMany(7);
+  }
+}
+
+TEST(ProgressiveTest, ExpectedPenaltyDecreasesMonotonically) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  double prev = ev.ExpectedPenalty(f.schema.cell_count());
+  while (!ev.Done()) {
+    ev.Step();
+    const double cur = ev.ExpectedPenalty(f.schema.cell_count());
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-9);
+}
+
+TEST(ProgressiveTest, RandomOrderIsSeedDeterministic) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator a(&f.list, &sse, f.store.get(),
+                         ProgressionOrder::kRandom, 99);
+  ProgressiveEvaluator b(&f.list, &sse, f.store.get(),
+                         ProgressionOrder::kRandom, 99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Step(), b.Step());
+  }
+}
+
+TEST(ProgressiveTest, ImportanceMatchesPenaltyOfCoefficientColumn) {
+  // Definition 3: ι_p(ξ) = p(q̂₀[ξ], …, q̂_{s−1}[ξ]).
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  for (size_t i = 0; i < f.list.size(); ++i) {
+    double expected = 0.0;
+    for (const auto& [q, c] : f.list.entry(i).uses) expected += c * c;
+    EXPECT_NEAR(ev.ImportanceOf(i), expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace wavebatch

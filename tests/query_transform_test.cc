@@ -1,0 +1,151 @@
+#include "wavelet/query_transform.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "wavelet/dwt1d.h"
+
+namespace wavebatch {
+namespace {
+
+std::vector<double> DenseMonomialRange(uint64_t n, uint32_t lo, uint32_t hi,
+                                       uint32_t degree) {
+  std::vector<double> v(n, 0.0);
+  for (uint64_t x = lo; x <= hi; ++x) {
+    v[x] = degree == 0 ? 1.0 : std::pow(static_cast<double>(x), degree);
+  }
+  return v;
+}
+
+class QueryTransformTest
+    : public ::testing::TestWithParam<std::tuple<WaveletKind, size_t>> {
+ protected:
+  const WaveletFilter& filter() const {
+    return WaveletFilter::Get(std::get<0>(GetParam()));
+  }
+  size_t n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(QueryTransformTest, MatchesDenseTransform) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t lo = static_cast<uint32_t>(rng.UniformInt(n()));
+    const uint32_t hi =
+        lo + static_cast<uint32_t>(rng.UniformInt(n() - lo));
+    const uint32_t degree = static_cast<uint32_t>(
+        rng.UniformInt(filter().max_degree() + 1));
+    std::vector<double> dense = DenseMonomialRange(n(), lo, hi, degree);
+    ForwardDwt1D(dense, filter());
+    double max_abs = 0.0;
+    for (double v : dense) max_abs = std::max(max_abs, std::abs(v));
+
+    std::vector<SparseEntry> sparse =
+        SparseRangeMonomialDwt1D(n(), lo, hi, degree, filter());
+    std::vector<double> reconstructed(n(), 0.0);
+    for (const SparseEntry& e : sparse) {
+      ASSERT_LT(e.key, n());
+      reconstructed[e.key] = e.value;
+    }
+    for (size_t i = 0; i < n(); ++i) {
+      EXPECT_NEAR(reconstructed[i], dense[i], max_abs * 1e-10)
+          << "lo=" << lo << " hi=" << hi << " deg=" << degree << " i=" << i;
+    }
+  }
+}
+
+TEST_P(QueryTransformTest, SupportIsLogarithmicForSupportedDegrees) {
+  // The Section 3.1 sparsity claim, per dimension: a degree-δ monomial on a
+  // range has O(L·log n) nonzero coefficients when L = filter length
+  // >= 2δ+2. (Two range edges, ≤ L wavelets straddling each per level,
+  // plus coarse levels.)
+  if (n() < 8) return;
+  const size_t log_n = static_cast<size_t>(std::log2(n()));
+  const size_t bound = 2 * filter().length() * log_n + 2 * filter().length();
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t lo = static_cast<uint32_t>(rng.UniformInt(n()));
+    const uint32_t hi = lo + static_cast<uint32_t>(rng.UniformInt(n() - lo));
+    for (uint32_t degree = 0; degree <= filter().max_degree(); ++degree) {
+      std::vector<SparseEntry> sparse =
+          SparseRangeMonomialDwt1D(n(), lo, hi, degree, filter());
+      EXPECT_LE(sparse.size(), bound)
+          << "lo=" << lo << " hi=" << hi << " deg=" << degree;
+    }
+  }
+}
+
+TEST_P(QueryTransformTest, FullDomainCountIsSingleCoefficient) {
+  // χ over the whole (periodic) domain is constant: one scaling coefficient.
+  std::vector<SparseEntry> sparse = SparseRangeMonomialDwt1D(
+      n(), 0, static_cast<uint32_t>(n() - 1), 0, filter());
+  ASSERT_EQ(sparse.size(), 1u);
+  EXPECT_EQ(sparse[0].key, 0u);
+  EXPECT_NEAR(sparse[0].value, std::sqrt(static_cast<double>(n())), 1e-9);
+}
+
+TEST_P(QueryTransformTest, InnerProductWithImpulseEvaluatesQuery) {
+  // <q, e_x> = q[x]: the 1-D version of Equation (1).
+  if (filter().max_degree() < 1 || n() < 8) return;
+  const uint32_t lo = 2, hi = static_cast<uint32_t>(n() - 3);
+  std::vector<SparseEntry> q =
+      SparseRangeMonomialDwt1D(n(), lo, hi, 1, filter());
+  std::vector<double> qdense(n(), 0.0);
+  for (const SparseEntry& e : q) qdense[e.key] = e.value;
+  for (uint32_t x = 0; x < n(); ++x) {
+    std::vector<double> impulse(n(), 0.0);
+    impulse[x] = 1.0;
+    ForwardDwt1D(impulse, filter());
+    double dot = 0.0;
+    for (size_t i = 0; i < n(); ++i) dot += qdense[i] * impulse[i];
+    const double expected = (x >= lo && x <= hi) ? x : 0.0;
+    EXPECT_NEAR(dot, expected, 1e-6) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiltersAndSizes, QueryTransformTest,
+    ::testing::Combine(::testing::Values(WaveletKind::kHaar, WaveletKind::kDb4,
+                                         WaveletKind::kDb6, WaveletKind::kDb8),
+                       ::testing::Values<size_t>(8, 32, 128, 1024)));
+
+TEST(QueryTransformBasics, InsufficientFilterIsDense) {
+  // Haar (1 vanishing moment) cannot annihilate a degree-1 interior: the
+  // transform is still exact but no longer sparse. This is the cost the
+  // filter-choice ablation quantifies.
+  const size_t n = 256;
+  std::vector<SparseEntry> haar = SparseRangeMonomialDwt1D(
+      n, 10, 200, 1, WaveletFilter::Get(WaveletKind::kHaar));
+  std::vector<SparseEntry> db4 = SparseRangeMonomialDwt1D(
+      n, 10, 200, 1, WaveletFilter::Get(WaveletKind::kDb4));
+  EXPECT_GT(haar.size(), 4 * db4.size());
+}
+
+TEST(QueryTransformBasics, SparseDwt1DArbitraryVector) {
+  Rng rng(5);
+  std::vector<double> v(64);
+  for (double& x : v) x = rng.Gaussian();
+  std::vector<double> dense = v;
+  ForwardDwt1D(dense, WaveletFilter::Get(WaveletKind::kDb6));
+  std::vector<SparseEntry> sparse =
+      SparseDwt1D(v, WaveletFilter::Get(WaveletKind::kDb6));
+  std::vector<double> rec(64, 0.0);
+  for (const SparseEntry& e : sparse) rec[e.key] = e.value;
+  for (size_t i = 0; i < 64; ++i) EXPECT_NEAR(rec[i], dense[i], 1e-9);
+}
+
+TEST(QueryTransformBasics, SingleCellRangeMatchesImpulse) {
+  const size_t n = 64;
+  std::vector<SparseEntry> q = SparseRangeMonomialDwt1D(
+      n, 17, 17, 0, WaveletFilter::Get(WaveletKind::kDb4));
+  std::vector<double> dense(n, 0.0);
+  dense[17] = 1.0;
+  ForwardDwt1D(dense, WaveletFilter::Get(WaveletKind::kDb4));
+  for (const SparseEntry& e : q) {
+    EXPECT_NEAR(e.value, dense[e.key], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,117 @@
+#include "query/range_sum.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+Relation SmallRelation() {
+  Relation r(Schema::Uniform(2, 8));
+  r.Add({1, 2});
+  r.Add({1, 2});
+  r.Add({3, 5});
+  r.Add({7, 0});
+  return r;
+}
+
+Range MakeRange(const Schema& schema, std::vector<Interval> ivs) {
+  Result<Range> r = Range::Create(schema, std::move(ivs));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(RangeSumTest, CountQuery) {
+  Relation rel = SmallRelation();
+  Range range = MakeRange(rel.schema(), {{0, 3}, {0, 7}});
+  RangeSumQuery q = RangeSumQuery::Count(range);
+  EXPECT_DOUBLE_EQ(q.BruteForce(rel), 3.0);  // (1,2)x2 and (3,5)
+  EXPECT_EQ(q.MaxVarDegree(), 0u);
+}
+
+TEST(RangeSumTest, SumQuery) {
+  Relation rel = SmallRelation();
+  Range range = MakeRange(rel.schema(), {{0, 3}, {0, 7}});
+  RangeSumQuery q = RangeSumQuery::Sum(range, 1);
+  EXPECT_DOUBLE_EQ(q.BruteForce(rel), 2.0 + 2.0 + 5.0);
+  EXPECT_EQ(q.MaxVarDegree(), 1u);
+}
+
+TEST(RangeSumTest, SumProductQuery) {
+  Relation rel = SmallRelation();
+  Range range = Range::All(rel.schema());
+  RangeSumQuery q = RangeSumQuery::SumProduct(range, 0, 1);
+  EXPECT_DOUBLE_EQ(q.BruteForce(rel), 1 * 2 + 1 * 2 + 3 * 5 + 7 * 0);
+  EXPECT_EQ(q.MaxVarDegree(), 1u);
+}
+
+TEST(RangeSumTest, SumPowerQuery) {
+  Relation rel = SmallRelation();
+  Range range = Range::All(rel.schema());
+  RangeSumQuery q = RangeSumQuery::SumPower(range, 0, 2);
+  EXPECT_DOUBLE_EQ(q.BruteForce(rel), 1 + 1 + 9 + 49);
+  EXPECT_EQ(q.MaxVarDegree(), 2u);
+}
+
+TEST(RangeSumTest, SelfProductHasDegreeTwo) {
+  Range range = Range::All(Schema::Uniform(2, 8));
+  RangeSumQuery q = RangeSumQuery::SumProduct(range, 0, 0);
+  EXPECT_EQ(q.MaxVarDegree(), 2u);
+}
+
+TEST(RangeSumTest, BruteForceAgainstCubeMatchesRelation) {
+  Relation rel = SmallRelation();
+  DenseCube delta = rel.FrequencyDistribution();
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t lo0 = static_cast<uint32_t>(rng.UniformInt(8));
+    const uint32_t hi0 = lo0 + static_cast<uint32_t>(rng.UniformInt(8 - lo0));
+    const uint32_t lo1 = static_cast<uint32_t>(rng.UniformInt(8));
+    const uint32_t hi1 = lo1 + static_cast<uint32_t>(rng.UniformInt(8 - lo1));
+    Range range = MakeRange(rel.schema(), {{lo0, hi0}, {lo1, hi1}});
+    for (const RangeSumQuery& q :
+         {RangeSumQuery::Count(range), RangeSumQuery::Sum(range, 0),
+          RangeSumQuery::SumProduct(range, 0, 1)}) {
+      EXPECT_DOUBLE_EQ(q.BruteForce(rel), q.BruteForce(delta));
+    }
+  }
+}
+
+TEST(RangeSumTest, ToDenseVectorIsIndicatorTimesPolynomial) {
+  Schema schema = Schema::Uniform(2, 4);
+  Range range = MakeRange(schema, {{1, 2}, {0, 1}});
+  RangeSumQuery q = RangeSumQuery::Sum(range, 0);
+  DenseCube v = q.ToDenseVector(schema);
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      const double expected = (x >= 1 && x <= 2 && y <= 1) ? x : 0.0;
+      EXPECT_DOUBLE_EQ(v.at(std::vector<uint32_t>{x, y}), expected);
+    }
+  }
+}
+
+TEST(RangeSumTest, QueryVectorInnerProductEqualsBruteForce) {
+  // ⟨q, Δ⟩ in the *untransformed* domain — sanity for the vector-query
+  // formulation itself.
+  Relation rel = SmallRelation();
+  DenseCube delta = rel.FrequencyDistribution();
+  Range range = MakeRange(rel.schema(), {{0, 3}, {1, 6}});
+  RangeSumQuery q = RangeSumQuery::Sum(range, 1);
+  DenseCube qvec = q.ToDenseVector(rel.schema());
+  EXPECT_DOUBLE_EQ(qvec.Dot(delta), q.BruteForce(rel));
+}
+
+TEST(RangeSumTest, LabelPreserved) {
+  Range range = Range::All(Schema::Uniform(1, 4));
+  RangeSumQuery q = RangeSumQuery::Count(range, "my-label");
+  EXPECT_EQ(q.label(), "my-label");
+}
+
+TEST(RangeSumTest, EmptyRelationGivesZero) {
+  Relation rel(Schema::Uniform(2, 4));
+  RangeSumQuery q = RangeSumQuery::Count(Range::All(rel.schema()));
+  EXPECT_DOUBLE_EQ(q.BruteForce(rel), 0.0);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,86 @@
+#include "query/range.h"
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+Schema TestSchema() { return Schema::Uniform(3, 8); }
+
+TEST(RangeTest, CreateValid) {
+  Result<Range> r = Range::Create(TestSchema(), {{0, 3}, {2, 2}, {1, 7}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_dims(), 3u);
+  EXPECT_EQ(r->interval(1).lo, 2u);
+  EXPECT_EQ(r->interval(1).hi, 2u);
+}
+
+TEST(RangeTest, RejectsWrongArity) {
+  EXPECT_FALSE(Range::Create(TestSchema(), {{0, 3}}).ok());
+}
+
+TEST(RangeTest, RejectsInvertedInterval) {
+  EXPECT_FALSE(Range::Create(TestSchema(), {{3, 0}, {0, 7}, {0, 7}}).ok());
+}
+
+TEST(RangeTest, RejectsOutOfDomain) {
+  EXPECT_FALSE(Range::Create(TestSchema(), {{0, 8}, {0, 7}, {0, 7}}).ok());
+}
+
+TEST(RangeTest, AllCoversDomain) {
+  Range r = Range::All(TestSchema());
+  EXPECT_EQ(r.Volume(), 512u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.interval(i).lo, 0u);
+    EXPECT_EQ(r.interval(i).hi, 7u);
+  }
+}
+
+TEST(RangeTest, Volume) {
+  Result<Range> r = Range::Create(TestSchema(), {{0, 3}, {2, 2}, {1, 6}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Volume(), 4u * 1u * 6u);
+}
+
+TEST(RangeTest, Contains) {
+  Result<Range> r = Range::Create(TestSchema(), {{0, 3}, {2, 2}, {1, 6}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains({0, 2, 1}));
+  EXPECT_TRUE(r->Contains({3, 2, 6}));
+  EXPECT_FALSE(r->Contains({4, 2, 1}));
+  EXPECT_FALSE(r->Contains({0, 1, 1}));
+  EXPECT_FALSE(r->Contains({0, 2, 7}));
+}
+
+TEST(RangeTest, IntervalLength) {
+  Interval iv{2, 5};
+  EXPECT_EQ(iv.length(), 4u);
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(6));
+}
+
+TEST(RangeTest, Restrict) {
+  Range all = Range::All(TestSchema());
+  Range narrowed = all.Restrict(1, 2, 4);
+  EXPECT_EQ(narrowed.interval(1).lo, 2u);
+  EXPECT_EQ(narrowed.interval(1).hi, 4u);
+  EXPECT_EQ(narrowed.interval(0).hi, 7u);  // others untouched
+  EXPECT_EQ(narrowed.Volume(), 8u * 3u * 8u);
+}
+
+TEST(RangeTest, Equality) {
+  Range a = Range::All(TestSchema());
+  Range b = Range::All(TestSchema());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == a.Restrict(0, 0, 3));
+}
+
+TEST(RangeTest, ToString) {
+  Result<Range> r = Range::Create(Schema::Uniform(2, 8), {{3, 7}, {0, 1}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "[3,7]x[0,1]");
+}
+
+}  // namespace
+}  // namespace wavebatch

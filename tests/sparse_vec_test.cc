@@ -1,0 +1,100 @@
+#include "wavelet/sparse_vec.h"
+
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(SparseVecTest, FromUnsortedSortsAndMerges) {
+  SparseVec v = SparseVec::FromUnsorted({{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].key, 2u);
+  EXPECT_DOUBLE_EQ(v[0].value, 2.0);
+  EXPECT_EQ(v[1].key, 5u);
+  EXPECT_DOUBLE_EQ(v[1].value, 4.0);
+}
+
+TEST(SparseVecTest, FromUnsortedDropsCancellations) {
+  SparseVec v = SparseVec::FromUnsorted({{3, 1.0}, {3, -1.0}, {1, 0.5}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].key, 1u);
+}
+
+TEST(SparseVecTest, EpsilonThreshold) {
+  SparseVec v =
+      SparseVec::FromUnsorted({{1, 1e-15}, {2, 1.0}, {3, -1e-15}}, 1e-12);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].key, 2u);
+}
+
+TEST(SparseVecTest, FromSorted) {
+  SparseVec v = SparseVec::FromSorted({{1, 1.0}, {4, 2.0}});
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SparseVecTest, DotMergeJoin) {
+  SparseVec a = SparseVec::FromUnsorted({{1, 2.0}, {3, 1.0}, {7, -1.0}});
+  SparseVec b = SparseVec::FromUnsorted({{2, 5.0}, {3, 4.0}, {7, 2.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0 * 4.0 + (-1.0) * 2.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), a.Dot(b));
+}
+
+TEST(SparseVecTest, DotWithEmpty) {
+  SparseVec a = SparseVec::FromUnsorted({{1, 2.0}});
+  SparseVec empty;
+  EXPECT_DOUBLE_EQ(a.Dot(empty), 0.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SparseVecTest, ValueAt) {
+  SparseVec v = SparseVec::FromUnsorted({{10, 3.0}, {20, -1.0}});
+  EXPECT_DOUBLE_EQ(v.ValueAt(10), 3.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(20), -1.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(15), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(100), 0.0);
+}
+
+TEST(SparseVecTest, Norms) {
+  SparseVec v = SparseVec::FromUnsorted({{1, 3.0}, {2, -4.0}});
+  EXPECT_DOUBLE_EQ(v.SumAbs(), 7.0);
+  EXPECT_DOUBLE_EQ(v.SumSquares(), 25.0);
+}
+
+TEST(SparseVecTest, Scale) {
+  SparseVec v = SparseVec::FromUnsorted({{1, 3.0}});
+  v.Scale(-2.0);
+  EXPECT_DOUBLE_EQ(v[0].value, -6.0);
+}
+
+TEST(SparseVecTest, RangeForIteration) {
+  SparseVec v = SparseVec::FromUnsorted({{1, 1.0}, {2, 2.0}});
+  double sum = 0.0;
+  for (const SparseEntry& e : v) sum += e.value;
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+TEST(SparseAccumulatorTest, AccumulatesByKey) {
+  SparseAccumulator acc;
+  acc.Add(7, 1.0);
+  acc.Add(7, 2.5);
+  acc.Add(3, -1.0);
+  EXPECT_EQ(acc.size(), 2u);
+  SparseVec v = acc.ToVec();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(7), 3.5);
+  EXPECT_DOUBLE_EQ(v.ValueAt(3), -1.0);
+}
+
+TEST(SparseAccumulatorTest, ToVecThreshold) {
+  SparseAccumulator acc;
+  acc.Add(1, 1.0);
+  acc.Add(1, -1.0 + 1e-16);
+  acc.Add(2, 1.0);
+  SparseVec v = acc.ToVec(1e-12);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].key, 2u);
+}
+
+}  // namespace
+}  // namespace wavebatch

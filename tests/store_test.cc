@@ -1,0 +1,156 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "storage/block_store.h"
+#include "storage/coefficient_store.h"
+#include "storage/dense_store.h"
+#include "storage/memory_store.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(HashStoreTest, PeekAbsentIsZero) {
+  HashStore store;
+  EXPECT_EQ(store.Peek(42), 0.0);
+  EXPECT_EQ(store.NumNonZero(), 0u);
+}
+
+TEST(HashStoreTest, AddAndPeek) {
+  HashStore store;
+  store.Add(1, 2.0);
+  store.Add(1, 3.0);
+  store.Add(2, -1.0);
+  EXPECT_DOUBLE_EQ(store.Peek(1), 5.0);
+  EXPECT_DOUBLE_EQ(store.Peek(2), -1.0);
+  EXPECT_EQ(store.NumNonZero(), 2u);
+}
+
+TEST(HashStoreTest, AddToZeroErases) {
+  HashStore store;
+  store.Add(1, 2.0);
+  store.Add(1, -2.0);
+  EXPECT_EQ(store.NumNonZero(), 0u);
+}
+
+TEST(HashStoreTest, BulkLoadFromSparseVec) {
+  SparseVec v = SparseVec::FromUnsorted({{1, 1.0}, {9, 2.0}});
+  HashStore store(v);
+  EXPECT_EQ(store.NumNonZero(), 2u);
+  EXPECT_DOUBLE_EQ(store.Peek(9), 2.0);
+}
+
+TEST(HashStoreTest, FetchCountsRetrievals) {
+  HashStore store;
+  store.Add(1, 2.0);
+  EXPECT_EQ(store.stats().retrievals, 0u);
+  EXPECT_DOUBLE_EQ(store.Fetch(1), 2.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(5), 0.0);  // absent fetches still cost
+  EXPECT_EQ(store.stats().retrievals, 2u);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().retrievals, 0u);
+}
+
+TEST(HashStoreTest, PeekDoesNotCount) {
+  HashStore store;
+  store.Add(1, 2.0);
+  store.Peek(1);
+  EXPECT_EQ(store.stats().retrievals, 0u);
+}
+
+TEST(HashStoreTest, SumAbs) {
+  HashStore store;
+  store.Add(1, 3.0);
+  store.Add(2, -4.0);
+  EXPECT_DOUBLE_EQ(store.SumAbs(), 7.0);
+}
+
+TEST(DenseStoreTest, ZeroInitialized) {
+  DenseStore store(16);
+  EXPECT_EQ(store.capacity(), 16u);
+  EXPECT_EQ(store.Peek(7), 0.0);
+  EXPECT_EQ(store.NumNonZero(), 0u);
+}
+
+TEST(DenseStoreTest, AddPeekFetch) {
+  DenseStore store(8);
+  store.Add(3, 1.5);
+  store.Add(3, 1.5);
+  EXPECT_DOUBLE_EQ(store.Peek(3), 3.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(3), 3.0);
+  EXPECT_EQ(store.stats().retrievals, 1u);
+  EXPECT_EQ(store.NumNonZero(), 1u);
+  EXPECT_DOUBLE_EQ(store.SumAbs(), 3.0);
+}
+
+TEST(DenseStoreTest, BulkLoadValues) {
+  DenseStore store(std::vector<double>{0.0, 1.0, -2.0});
+  EXPECT_EQ(store.capacity(), 3u);
+  EXPECT_EQ(store.NumNonZero(), 2u);
+  EXPECT_DOUBLE_EQ(store.SumAbs(), 3.0);
+}
+
+std::unique_ptr<CoefficientStore> MakeInner() {
+  auto inner = std::make_unique<HashStore>();
+  for (uint64_t k = 0; k < 64; ++k) inner->Add(k, static_cast<double>(k + 1));
+  return inner;
+}
+
+TEST(BlockStoreTest, FirstTouchIsBlockRead) {
+  BlockStore store(MakeInner(), /*block_size=*/8, /*cache_blocks=*/4);
+  store.Fetch(0);
+  EXPECT_EQ(store.stats().retrievals, 1u);
+  EXPECT_EQ(store.stats().block_reads, 1u);
+  EXPECT_EQ(store.stats().block_hits, 0u);
+}
+
+TEST(BlockStoreTest, SameBlockHits) {
+  BlockStore store(MakeInner(), 8, 4);
+  store.Fetch(0);
+  store.Fetch(7);  // same block [0,8)
+  store.Fetch(3);
+  EXPECT_EQ(store.stats().block_reads, 1u);
+  EXPECT_EQ(store.stats().block_hits, 2u);
+}
+
+TEST(BlockStoreTest, LruEviction) {
+  BlockStore store(MakeInner(), 8, 2);
+  store.Fetch(0);   // block 0 (miss)
+  store.Fetch(8);   // block 1 (miss)
+  store.Fetch(16);  // block 2 (miss, evicts block 0)
+  store.Fetch(0);   // block 0 again (miss)
+  EXPECT_EQ(store.stats().block_reads, 4u);
+  EXPECT_EQ(store.stats().block_hits, 0u);
+}
+
+TEST(BlockStoreTest, LruTouchRefreshes) {
+  BlockStore store(MakeInner(), 8, 2);
+  store.Fetch(0);   // block 0 (miss)            cache: {0}
+  store.Fetch(8);   // block 1 (miss)            cache: {1,0}
+  store.Fetch(1);   // block 0 (hit, refreshed)  cache: {0,1}
+  store.Fetch(16);  // block 2 (miss, evicts 1)  cache: {2,0}
+  store.Fetch(2);   // block 0 (hit)
+  EXPECT_EQ(store.stats().block_reads, 3u);
+  EXPECT_EQ(store.stats().block_hits, 2u);
+}
+
+TEST(BlockStoreTest, UnbufferedEveryBlockAccessReads) {
+  BlockStore store(MakeInner(), 8, 0);
+  store.Fetch(0);
+  store.Fetch(1);
+  store.Fetch(2);
+  EXPECT_EQ(store.stats().block_reads, 3u);
+  EXPECT_EQ(store.stats().block_hits, 0u);
+}
+
+TEST(BlockStoreTest, DelegatesValuesAndUpdates) {
+  BlockStore store(MakeInner(), 8, 2);
+  EXPECT_DOUBLE_EQ(store.Peek(5), 6.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(5), 6.0);
+  store.Add(5, 1.0);
+  EXPECT_DOUBLE_EQ(store.Peek(5), 7.0);
+  EXPECT_EQ(store.NumNonZero(), 64u);
+  EXPECT_EQ(store.name(), "blocked(hash)");
+}
+
+}  // namespace
+}  // namespace wavebatch

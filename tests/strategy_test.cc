@@ -1,0 +1,247 @@
+#include <memory>
+#include <vector>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "strategy/identity_strategy.h"
+#include "strategy/linear_strategy.h"
+#include "strategy/prefix_sum_strategy.h"
+#include "strategy/wavelet_strategy.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+// Evaluates a query through a strategy: ⟨q_T, T·Δ⟩ by direct lookup.
+double Evaluate(const LinearStrategy& strategy, const CoefficientStore& store,
+                const RangeSumQuery& query) {
+  Result<SparseVec> q = strategy.TransformQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  double acc = 0.0;
+  for (const SparseEntry& e : *q) acc += e.value * store.Peek(e.key);
+  return acc;
+}
+
+Range RandomRange(const Schema& schema, Rng& rng) {
+  std::vector<Interval> ivs;
+  for (size_t i = 0; i < schema.num_dims(); ++i) {
+    const uint32_t n = schema.dim(i).size;
+    const uint32_t lo = static_cast<uint32_t>(rng.UniformInt(n));
+    const uint32_t hi = lo + static_cast<uint32_t>(rng.UniformInt(n - lo));
+    ivs.push_back({lo, hi});
+  }
+  Result<Range> r = Range::Create(schema, ivs);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+class WaveletStrategyTest : public ::testing::TestWithParam<WaveletKind> {};
+
+TEST_P(WaveletStrategyTest, CountQueriesExact) {
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel = MakeUniformRelation(schema, 300, 7);
+  DenseCube delta = rel.FrequencyDistribution();
+  WaveletStrategy strategy(schema, GetParam());
+  auto store = strategy.BuildStore(delta);
+  Rng rng(11);
+  for (int t = 0; t < 25; ++t) {
+    Range range = RandomRange(schema, rng);
+    RangeSumQuery q = RangeSumQuery::Count(range);
+    EXPECT_NEAR(Evaluate(strategy, *store, q), q.BruteForce(rel),
+                1e-6 * (1.0 + std::abs(q.BruteForce(rel))));
+  }
+}
+
+TEST_P(WaveletStrategyTest, SumQueriesExactWhenFilterSufficient) {
+  if (WaveletFilter::Get(GetParam()).max_degree() < 1) return;
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel = MakeUniformRelation(schema, 300, 9);
+  DenseCube delta = rel.FrequencyDistribution();
+  WaveletStrategy strategy(schema, GetParam());
+  auto store = strategy.BuildStore(delta);
+  Rng rng(13);
+  for (int t = 0; t < 25; ++t) {
+    Range range = RandomRange(schema, rng);
+    for (size_t dim = 0; dim < 2; ++dim) {
+      RangeSumQuery q = RangeSumQuery::Sum(range, dim);
+      const double expected = q.BruteForce(rel);
+      EXPECT_NEAR(Evaluate(strategy, *store, q), expected,
+                  1e-6 * (1.0 + std::abs(expected)));
+    }
+  }
+}
+
+TEST_P(WaveletStrategyTest, HaarStillExactForHigherDegree) {
+  // With too few vanishing moments the rewrite is dense but still exact.
+  Schema schema = Schema::Uniform(2, 8);
+  Relation rel = MakeUniformRelation(schema, 100, 21);
+  DenseCube delta = rel.FrequencyDistribution();
+  WaveletStrategy strategy(schema, GetParam());
+  auto store = strategy.BuildStore(delta);
+  Range range = Range::All(schema).Restrict(0, 1, 6);
+  RangeSumQuery q = RangeSumQuery::SumProduct(range, 0, 1);
+  const double expected = q.BruteForce(rel);
+  EXPECT_NEAR(Evaluate(strategy, *store, q), expected,
+              1e-6 * (1.0 + std::abs(expected)));
+}
+
+TEST_P(WaveletStrategyTest, IncrementalInsertMatchesDenseBuild) {
+  Schema schema = Schema::Uniform(3, 8);
+  Relation rel = MakeUniformRelation(schema, 60, 33);
+  WaveletStrategy strategy(schema, GetParam());
+  auto dense_store = strategy.BuildStore(rel.FrequencyDistribution());
+  auto streaming_store = strategy.BuildStoreFromRelation(rel);
+  // Every coefficient with material magnitude agrees.
+  for (uint64_t key = 0; key < schema.cell_count(); ++key) {
+    EXPECT_NEAR(streaming_store->Peek(key), dense_store->Peek(key), 1e-8)
+        << "key " << key;
+  }
+}
+
+TEST_P(WaveletStrategyTest, InsertThenQueryReflectsUpdate) {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, GetParam());
+  Relation rel = MakeUniformRelation(schema, 100, 41);
+  auto store = strategy.BuildStoreFromRelation(rel);
+  Range range = Range::All(schema).Restrict(0, 2, 9).Restrict(1, 3, 12);
+  RangeSumQuery count = RangeSumQuery::Count(range);
+  const double before = Evaluate(strategy, *store, count);
+  ASSERT_TRUE(strategy.InsertTuple(*store, {5, 5}, 1.0).ok());
+  const double after = Evaluate(strategy, *store, count);
+  EXPECT_NEAR(after, before + 1.0, 1e-6);
+  // Deletion (negative count) restores.
+  ASSERT_TRUE(strategy.InsertTuple(*store, {5, 5}, -1.0).ok());
+  EXPECT_NEAR(Evaluate(strategy, *store, count), before, 1e-6);
+}
+
+TEST_P(WaveletStrategyTest, RejectsOutOfDomainTuple) {
+  Schema schema = Schema::Uniform(2, 8);
+  WaveletStrategy strategy(schema, GetParam());
+  auto store = strategy.BuildStore(DenseCube(schema));
+  EXPECT_FALSE(strategy.InsertTuple(*store, {8, 0}, 1.0).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, WaveletStrategyTest,
+                         ::testing::Values(WaveletKind::kHaar,
+                                           WaveletKind::kDb4,
+                                           WaveletKind::kDb6,
+                                           WaveletKind::kDb8));
+
+TEST(WaveletStrategySparsity, QueryNnzWithinPaperBound) {
+  // O((4δ+2)^d log^d N): check the explicit per-dimension product bound
+  // Π_i (2·L·log2(N_i) + 2·L).
+  Schema schema = Schema::Uniform(3, 32);
+  WaveletStrategy strategy(schema, WaveletKind::kDb4);
+  Rng rng(55);
+  for (int t = 0; t < 10; ++t) {
+    Range range = RandomRange(schema, rng);
+    RangeSumQuery q = RangeSumQuery::Sum(range, 1);
+    Result<SparseVec> coeffs = strategy.TransformQuery(q);
+    ASSERT_TRUE(coeffs.ok());
+    const double per_dim = 2.0 * 4 * 5 + 2.0 * 4;
+    EXPECT_LE(coeffs->size(), per_dim * per_dim * per_dim);
+  }
+}
+
+TEST(PrefixSumStrategyTest, CountAndSumExact) {
+  Schema schema = Schema::Uniform(3, 8);
+  Relation rel = MakeUniformRelation(schema, 200, 17);
+  DenseCube delta = rel.FrequencyDistribution();
+  PrefixSumStrategy strategy(
+      schema, {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  auto store = strategy.BuildStore(delta);
+  Rng rng(19);
+  for (int t = 0; t < 25; ++t) {
+    Range range = RandomRange(schema, rng);
+    for (const RangeSumQuery& q :
+         {RangeSumQuery::Count(range), RangeSumQuery::Sum(range, 0),
+          RangeSumQuery::Sum(range, 2)}) {
+      const double expected = q.BruteForce(rel);
+      EXPECT_NEAR(Evaluate(strategy, *store, q), expected,
+                  1e-6 * (1.0 + std::abs(expected)));
+    }
+  }
+}
+
+TEST(PrefixSumStrategyTest, QueryCostAtMostTwoToTheD) {
+  Schema schema = Schema::Uniform(4, 8);
+  PrefixSumStrategy strategy(schema, {{0, 0, 0, 0}});
+  Rng rng(23);
+  for (int t = 0; t < 20; ++t) {
+    Range range = RandomRange(schema, rng);
+    Result<SparseVec> q =
+        strategy.TransformQuery(RangeSumQuery::Count(range));
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(q->size(), 16u);
+  }
+}
+
+TEST(PrefixSumStrategyTest, RejectsUnsupportedMonomial) {
+  Schema schema = Schema::Uniform(2, 8);
+  PrefixSumStrategy strategy(schema, {{0, 0}});
+  Result<SparseVec> q = strategy.TransformQuery(
+      RangeSumQuery::Sum(Range::All(schema), 0));
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PrefixSumStrategyTest, CollectMonomialsFromBatch) {
+  Schema schema = Schema::Uniform(2, 8);
+  QueryBatch batch(schema);
+  batch.Add(RangeSumQuery::Count(Range::All(schema)));
+  batch.Add(RangeSumQuery::Sum(Range::All(schema), 1));
+  batch.Add(RangeSumQuery::Sum(Range::All(schema), 1));  // duplicate
+  auto monomials = PrefixSumStrategy::CollectMonomials(batch);
+  EXPECT_EQ(monomials.size(), 2u);
+}
+
+TEST(PrefixSumStrategyTest, IncrementalInsertMatchesRebuild) {
+  Schema schema = Schema::Uniform(2, 8);
+  Relation rel = MakeUniformRelation(schema, 40, 29);
+  PrefixSumStrategy strategy(schema, {{0, 0}, {1, 0}});
+  auto built = strategy.BuildStore(rel.FrequencyDistribution());
+  auto streamed = strategy.BuildStoreFromRelation(rel);
+  for (uint64_t key = 0; key < 2 * schema.cell_count(); ++key) {
+    EXPECT_NEAR(streamed->Peek(key), built->Peek(key), 1e-9) << key;
+  }
+}
+
+TEST(IdentityStrategyTest, ExactAndCostEqualsVolume) {
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel = MakeUniformRelation(schema, 150, 37);
+  IdentityStrategy strategy(schema);
+  auto store = strategy.BuildStore(rel.FrequencyDistribution());
+  Rng rng(41);
+  for (int t = 0; t < 20; ++t) {
+    Range range = RandomRange(schema, rng);
+    RangeSumQuery count = RangeSumQuery::Count(range);
+    EXPECT_NEAR(Evaluate(strategy, *store, count), count.BruteForce(rel),
+                1e-9);
+    Result<SparseVec> q = strategy.TransformQuery(count);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->size(), range.Volume());
+    RangeSumQuery sum = RangeSumQuery::Sum(range, 0);
+    EXPECT_NEAR(Evaluate(strategy, *store, sum), sum.BruteForce(rel), 1e-9);
+  }
+}
+
+TEST(IdentityStrategyTest, InsertIsSingleCell) {
+  Schema schema = Schema::Uniform(2, 8);
+  IdentityStrategy strategy(schema);
+  auto store = strategy.BuildStore(DenseCube(schema));
+  ASSERT_TRUE(strategy.InsertTuple(*store, {3, 4}, 2.0).ok());
+  EXPECT_EQ(store->NumNonZero(), 1u);
+  EXPECT_DOUBLE_EQ(store->Peek(schema.Pack(std::vector<uint32_t>{3, 4})),
+                   2.0);
+}
+
+TEST(StrategyNamesTest, Names) {
+  Schema schema = Schema::Uniform(1, 4);
+  EXPECT_EQ(WaveletStrategy(schema, WaveletKind::kDb4).name(),
+            "wavelet-db4");
+  EXPECT_EQ(PrefixSumStrategy(schema, {{0}}).name(), "prefix-sum");
+  EXPECT_EQ(IdentityStrategy(schema).name(), "identity");
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,131 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "penalty/sse.h"
+#include "strategy/wavelet_strategy.h"
+
+namespace wavebatch {
+namespace {
+
+struct TraceFixture {
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel;
+  QueryBatch batch;
+  MasterList list;
+  std::unique_ptr<CoefficientStore> store;
+  std::vector<double> exact;
+
+  TraceFixture() : rel(MakeUniformRelation(schema, 400, 3)), batch(schema) {
+    WaveletStrategy strategy(schema, WaveletKind::kHaar);
+    for (uint32_t i = 0; i < 8; ++i) {
+      batch.Add(RangeSumQuery::Count(
+          Range::All(schema).Restrict(0, i * 2, i * 2 + 1)));
+    }
+    list = MasterList::Build(batch, strategy).value();
+    store = strategy.BuildStore(rel.FrequencyDistribution());
+    exact = batch.BruteForce(rel);
+  }
+};
+
+TEST(TraceTest, StartsAtZeroAndEndsExact) {
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace =
+      ProgressionTrace::Run(ev, f.exact, {{"sse", &sse, 1.0}});
+  ASSERT_GE(trace.points().size(), 2u);
+  EXPECT_EQ(trace.points().front().retrieved, 0u);
+  EXPECT_EQ(trace.points().back().retrieved, f.list.size());
+  // Final estimates are exact (modulo rewrite threshold).
+  EXPECT_NEAR(trace.points().back().penalties[0], 0.0, 1e-6);
+  EXPECT_NEAR(trace.points().back().mean_relative_error, 0.0, 1e-9);
+}
+
+TEST(TraceTest, RetrievedStrictlyIncreases) {
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace =
+      ProgressionTrace::Run(ev, f.exact, {{"sse", &sse, 1.0}});
+  for (size_t i = 1; i < trace.points().size(); ++i) {
+    EXPECT_GT(trace.points()[i].retrieved, trace.points()[i - 1].retrieved);
+  }
+}
+
+TEST(TraceTest, DensePrefixThenGeometric) {
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace = ProgressionTrace::Run(
+      ev, f.exact, {{"sse", &sse, 1.0}}, /*dense_until=*/8, /*growth=*/1.5);
+  // The first checkpoints are consecutive.
+  for (size_t i = 1; i < 8 && i < trace.points().size(); ++i) {
+    EXPECT_EQ(trace.points()[i].retrieved, trace.points()[i - 1].retrieved + 1);
+  }
+}
+
+TEST(TraceTest, MultipleMeasuresAndNormalizers) {
+  TraceFixture f;
+  SsePenalty sse;
+  WeightedSsePenalty cursored =
+      CursoredSsePenalty(f.batch.size(), std::vector<size_t>{0, 1}, 10.0);
+  double norm = 0.0;
+  for (double e : f.exact) norm += e * e;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace = ProgressionTrace::Run(
+      ev, f.exact,
+      {{"nsse", &sse, norm}, {"cursored", &cursored, 1.0}});
+  ASSERT_EQ(trace.measure_names().size(), 2u);
+  // Normalized SSE at step 0 with zero estimates = Σexact²/norm = 1.
+  EXPECT_NEAR(trace.points().front().penalties[0], 1.0, 1e-9);
+}
+
+TEST(TraceTest, BoundsColumnsFilled) {
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  const double k = f.store->SumAbs();
+  ProgressionTrace trace = ProgressionTrace::Run(
+      ev, f.exact, {{"sse", &sse, 1.0}}, 16, 1.3, k, f.schema.cell_count());
+  // Bound dominates measured penalty at every checkpoint.
+  for (const auto& pt : trace.points()) {
+    EXPECT_LE(pt.penalties[0], pt.worst_case_bound + 1e-5 * (1 + k * k));
+  }
+  // Expected-penalty column decreases to zero.
+  EXPECT_NEAR(trace.points().back().expected_penalty, 0.0, 1e-9);
+}
+
+TEST(TraceTest, TableShape) {
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace =
+      ProgressionTrace::Run(ev, f.exact, {{"sse", &sse, 1.0}});
+  Table table = trace.ToTable();
+  EXPECT_EQ(table.num_rows(), trace.points().size());
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_NE(os.str().find("retrieved,sse,mean_rel_err,max_rel_err"),
+            std::string::npos);
+}
+
+TEST(TraceTest, SsePenaltyDecreasesOverall) {
+  // Not necessarily monotone step-to-step on one dataset, but the curve
+  // must collapse by orders of magnitude from start to finish.
+  TraceFixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get());
+  ProgressionTrace trace =
+      ProgressionTrace::Run(ev, f.exact, {{"sse", &sse, 1.0}});
+  const double start = trace.points().front().penalties[0];
+  const double end = trace.points().back().penalties[0];
+  EXPECT_GT(start, 0.0);
+  EXPECT_LT(end, start * 1e-6);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,0 +1,101 @@
+#include "data/workloads.h"
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+
+namespace wavebatch {
+namespace {
+
+TEST(WorkloadTest, PartitionWorkloadShape) {
+  Schema schema = Schema::Uniform(3, 16);
+  const std::vector<size_t> parts = {4, 4, 2};
+  PartitionWorkload w =
+      MakePartitionWorkload(schema, parts, CellAggregate::kSum, 1, 42);
+  EXPECT_EQ(w.batch.size(), 32u);
+  EXPECT_EQ(w.partition.num_cells(), 32u);
+  EXPECT_EQ(w.batch.MaxVarDegree(), 1u);
+  // Cells tile the domain.
+  uint64_t volume = 0;
+  for (const Range& cell : w.partition.cells()) volume += cell.Volume();
+  EXPECT_EQ(volume, schema.cell_count());
+}
+
+TEST(WorkloadTest, QueriesAlignWithPartitionCells) {
+  Schema schema = Schema::Uniform(2, 16);
+  const std::vector<size_t> parts = {2, 3};
+  PartitionWorkload w =
+      MakePartitionWorkload(schema, parts, CellAggregate::kCount, 0, 7);
+  for (size_t i = 0; i < w.batch.size(); ++i) {
+    EXPECT_TRUE(w.batch.query(i).range() == w.partition.cell(i));
+  }
+}
+
+TEST(WorkloadTest, CountAggregateDegreeZero) {
+  Schema schema = Schema::Uniform(2, 8);
+  const std::vector<size_t> parts = {2, 2};
+  PartitionWorkload w =
+      MakePartitionWorkload(schema, parts, CellAggregate::kCount, 0, 1);
+  EXPECT_EQ(w.batch.MaxVarDegree(), 0u);
+}
+
+TEST(WorkloadTest, PartitionResultsSumToWholeDomain) {
+  // The defining property of a partition workload: cell results add up to
+  // the whole-domain aggregate.
+  Schema schema = Schema::Uniform(2, 16);
+  Relation rel = MakeUniformRelation(schema, 700, 13);
+  const std::vector<size_t> parts = {4, 3};
+  PartitionWorkload w =
+      MakePartitionWorkload(schema, parts, CellAggregate::kSum, 1, 21);
+  std::vector<double> results = w.batch.BruteForce(rel);
+  double total = 0.0;
+  for (double r : results) total += r;
+  RangeSumQuery whole = RangeSumQuery::Sum(Range::All(schema), 1);
+  EXPECT_NEAR(total, whole.BruteForce(rel), 1e-9);
+}
+
+TEST(WorkloadTest, UniformVsRandomCuts) {
+  Schema schema = Schema::Uniform(1, 16);
+  const std::vector<size_t> parts = {4};
+  PartitionWorkload uniform = MakePartitionWorkload(
+      schema, parts, CellAggregate::kCount, 0, 5, /*random_cuts=*/false);
+  for (const Range& cell : uniform.partition.cells()) {
+    EXPECT_EQ(cell.Volume(), 4u);
+  }
+  PartitionWorkload random = MakePartitionWorkload(
+      schema, parts, CellAggregate::kCount, 0, 5, /*random_cuts=*/true);
+  bool any_uneven = false;
+  for (const Range& cell : random.partition.cells()) {
+    any_uneven |= (cell.Volume() != 4u);
+  }
+  EXPECT_TRUE(any_uneven);
+}
+
+TEST(WorkloadTest, DrillDownStaysInsideBox) {
+  Schema schema = Schema::Uniform(2, 32);
+  Range box = Range::All(schema).Restrict(0, 8, 23).Restrict(1, 0, 15);
+  const std::vector<size_t> parts = {4, 4};
+  PartitionWorkload w = MakeDrillDownWorkload(
+      schema, box, parts, CellAggregate::kSum, 1, 33);
+  EXPECT_EQ(w.batch.size(), 16u);
+  uint64_t volume = 0;
+  for (const Range& cell : w.partition.cells()) {
+    volume += cell.Volume();
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(cell.interval(d).lo, box.interval(d).lo);
+      EXPECT_LE(cell.interval(d).hi, box.interval(d).hi);
+    }
+  }
+  EXPECT_EQ(volume, box.Volume());
+}
+
+TEST(WorkloadTest, LabelsDescribeCells) {
+  Schema schema = Schema::Uniform(1, 8);
+  const std::vector<size_t> parts = {2};
+  PartitionWorkload w = MakePartitionWorkload(
+      schema, parts, CellAggregate::kSum, 0, 3, /*random_cuts=*/false);
+  EXPECT_EQ(w.batch.query(0).label(), "sum:[0,3]");
+  EXPECT_EQ(w.batch.query(1).label(), "sum:[4,7]");
+}
+
+}  // namespace
+}  // namespace wavebatch
