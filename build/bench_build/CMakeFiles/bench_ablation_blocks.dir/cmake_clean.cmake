@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_blocks"
+  "../bench/bench_ablation_blocks.pdb"
+  "CMakeFiles/bench_ablation_blocks.dir/bench_ablation_blocks.cc.o"
+  "CMakeFiles/bench_ablation_blocks.dir/bench_ablation_blocks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

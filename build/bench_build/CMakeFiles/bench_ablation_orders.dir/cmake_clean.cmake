@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_orders"
+  "../bench/bench_ablation_orders.pdb"
+  "CMakeFiles/bench_ablation_orders.dir/bench_ablation_orders.cc.o"
+  "CMakeFiles/bench_ablation_orders.dir/bench_ablation_orders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wavelets"
+  "../bench/bench_ablation_wavelets.pdb"
+  "CMakeFiles/bench_ablation_wavelets.dir/bench_ablation_wavelets.cc.o"
+  "CMakeFiles/bench_ablation_wavelets.dir/bench_ablation_wavelets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wavelets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_workspace"
+  "../bench/bench_ablation_workspace.pdb"
+  "CMakeFiles/bench_ablation_workspace.dir/bench_ablation_workspace.cc.o"
+  "CMakeFiles/bench_ablation_workspace.dir/bench_ablation_workspace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_3_4_query_approx"
+  "../bench/bench_fig2_3_4_query_approx.pdb"
+  "CMakeFiles/bench_fig2_3_4_query_approx.dir/bench_fig2_3_4_query_approx.cc.o"
+  "CMakeFiles/bench_fig2_3_4_query_approx.dir/bench_fig2_3_4_query_approx.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_3_4_query_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mre"
+  "../bench/bench_fig5_mre.pdb"
+  "CMakeFiles/bench_fig5_mre.dir/bench_fig5_mre.cc.o"
+  "CMakeFiles/bench_fig5_mre.dir/bench_fig5_mre.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_7_penalties"
+  "../bench/bench_fig6_7_penalties.pdb"
+  "CMakeFiles/bench_fig6_7_penalties.dir/bench_fig6_7_penalties.cc.o"
+  "CMakeFiles/bench_fig6_7_penalties.dir/bench_fig6_7_penalties.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_obs1_io_sharing"
+  "../bench/bench_obs1_io_sharing.pdb"
+  "CMakeFiles/bench_obs1_io_sharing.dir/bench_obs1_io_sharing.cc.o"
+  "CMakeFiles/bench_obs1_io_sharing.dir/bench_obs1_io_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs1_io_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

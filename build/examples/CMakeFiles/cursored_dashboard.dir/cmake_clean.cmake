@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursored_dashboard.dir/cursored_dashboard.cpp.o"
+  "CMakeFiles/cursored_dashboard.dir/cursored_dashboard.cpp.o.d"
+  "cursored_dashboard"
+  "cursored_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursored_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

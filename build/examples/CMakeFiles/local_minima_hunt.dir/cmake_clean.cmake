@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_minima_hunt.dir/local_minima_hunt.cpp.o"
+  "CMakeFiles/local_minima_hunt.dir/local_minima_hunt.cpp.o.d"
+  "local_minima_hunt"
+  "local_minima_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_minima_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

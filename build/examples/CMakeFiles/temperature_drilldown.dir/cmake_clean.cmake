@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_drilldown.dir/temperature_drilldown.cpp.o"
+  "CMakeFiles/temperature_drilldown.dir/temperature_drilldown.cpp.o.d"
+  "temperature_drilldown"
+  "temperature_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

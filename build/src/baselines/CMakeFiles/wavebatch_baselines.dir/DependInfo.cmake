@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/compressed_view.cc" "src/baselines/CMakeFiles/wavebatch_baselines.dir/compressed_view.cc.o" "gcc" "src/baselines/CMakeFiles/wavebatch_baselines.dir/compressed_view.cc.o.d"
+  "/root/repo/src/baselines/online_aggregation.cc" "src/baselines/CMakeFiles/wavebatch_baselines.dir/online_aggregation.cc.o" "gcc" "src/baselines/CMakeFiles/wavebatch_baselines.dir/online_aggregation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/wavebatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wavebatch_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/wavebatch_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

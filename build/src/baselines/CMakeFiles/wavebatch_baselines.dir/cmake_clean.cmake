@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_baselines.dir/compressed_view.cc.o"
+  "CMakeFiles/wavebatch_baselines.dir/compressed_view.cc.o.d"
+  "CMakeFiles/wavebatch_baselines.dir/online_aggregation.cc.o"
+  "CMakeFiles/wavebatch_baselines.dir/online_aggregation.cc.o.d"
+  "libwavebatch_baselines.a"
+  "libwavebatch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

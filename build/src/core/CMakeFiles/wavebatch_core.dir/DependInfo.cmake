@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_progressive.cc" "src/core/CMakeFiles/wavebatch_core.dir/block_progressive.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/block_progressive.cc.o.d"
+  "/root/repo/src/core/bounded_workspace.cc" "src/core/CMakeFiles/wavebatch_core.dir/bounded_workspace.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/bounded_workspace.cc.o.d"
+  "/root/repo/src/core/exact.cc" "src/core/CMakeFiles/wavebatch_core.dir/exact.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/exact.cc.o.d"
+  "/root/repo/src/core/master_list.cc" "src/core/CMakeFiles/wavebatch_core.dir/master_list.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/master_list.cc.o.d"
+  "/root/repo/src/core/progressive.cc" "src/core/CMakeFiles/wavebatch_core.dir/progressive.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/progressive.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/wavebatch_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/wavebatch_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategy/CMakeFiles/wavebatch_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/penalty/CMakeFiles/wavebatch_penalty.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/wavebatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wavebatch_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/wavebatch_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_core.dir/block_progressive.cc.o"
+  "CMakeFiles/wavebatch_core.dir/block_progressive.cc.o.d"
+  "CMakeFiles/wavebatch_core.dir/bounded_workspace.cc.o"
+  "CMakeFiles/wavebatch_core.dir/bounded_workspace.cc.o.d"
+  "CMakeFiles/wavebatch_core.dir/exact.cc.o"
+  "CMakeFiles/wavebatch_core.dir/exact.cc.o.d"
+  "CMakeFiles/wavebatch_core.dir/master_list.cc.o"
+  "CMakeFiles/wavebatch_core.dir/master_list.cc.o.d"
+  "CMakeFiles/wavebatch_core.dir/progressive.cc.o"
+  "CMakeFiles/wavebatch_core.dir/progressive.cc.o.d"
+  "CMakeFiles/wavebatch_core.dir/trace.cc.o"
+  "CMakeFiles/wavebatch_core.dir/trace.cc.o.d"
+  "libwavebatch_core.a"
+  "libwavebatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

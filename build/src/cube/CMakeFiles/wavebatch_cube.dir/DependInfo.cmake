@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/dense_cube.cc" "src/cube/CMakeFiles/wavebatch_cube.dir/dense_cube.cc.o" "gcc" "src/cube/CMakeFiles/wavebatch_cube.dir/dense_cube.cc.o.d"
+  "/root/repo/src/cube/relation.cc" "src/cube/CMakeFiles/wavebatch_cube.dir/relation.cc.o" "gcc" "src/cube/CMakeFiles/wavebatch_cube.dir/relation.cc.o.d"
+  "/root/repo/src/cube/schema.cc" "src/cube/CMakeFiles/wavebatch_cube.dir/schema.cc.o" "gcc" "src/cube/CMakeFiles/wavebatch_cube.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_cube.dir/dense_cube.cc.o"
+  "CMakeFiles/wavebatch_cube.dir/dense_cube.cc.o.d"
+  "CMakeFiles/wavebatch_cube.dir/relation.cc.o"
+  "CMakeFiles/wavebatch_cube.dir/relation.cc.o.d"
+  "CMakeFiles/wavebatch_cube.dir/schema.cc.o"
+  "CMakeFiles/wavebatch_cube.dir/schema.cc.o.d"
+  "libwavebatch_cube.a"
+  "libwavebatch_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/wavebatch_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/wavebatch_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/workloads.cc" "src/data/CMakeFiles/wavebatch_data.dir/workloads.cc.o" "gcc" "src/data/CMakeFiles/wavebatch_data.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/wavebatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_data.dir/generators.cc.o"
+  "CMakeFiles/wavebatch_data.dir/generators.cc.o.d"
+  "CMakeFiles/wavebatch_data.dir/workloads.cc.o"
+  "CMakeFiles/wavebatch_data.dir/workloads.cc.o.d"
+  "libwavebatch_data.a"
+  "libwavebatch_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

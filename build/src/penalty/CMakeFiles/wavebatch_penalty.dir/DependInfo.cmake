@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/penalty/laplacian.cc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/laplacian.cc.o" "gcc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/laplacian.cc.o.d"
+  "/root/repo/src/penalty/lp.cc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/lp.cc.o" "gcc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/lp.cc.o.d"
+  "/root/repo/src/penalty/quadratic.cc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/quadratic.cc.o" "gcc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/quadratic.cc.o.d"
+  "/root/repo/src/penalty/sse.cc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/sse.cc.o" "gcc" "src/penalty/CMakeFiles/wavebatch_penalty.dir/sse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/wavebatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_penalty.dir/laplacian.cc.o"
+  "CMakeFiles/wavebatch_penalty.dir/laplacian.cc.o.d"
+  "CMakeFiles/wavebatch_penalty.dir/lp.cc.o"
+  "CMakeFiles/wavebatch_penalty.dir/lp.cc.o.d"
+  "CMakeFiles/wavebatch_penalty.dir/quadratic.cc.o"
+  "CMakeFiles/wavebatch_penalty.dir/quadratic.cc.o.d"
+  "CMakeFiles/wavebatch_penalty.dir/sse.cc.o"
+  "CMakeFiles/wavebatch_penalty.dir/sse.cc.o.d"
+  "libwavebatch_penalty.a"
+  "libwavebatch_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

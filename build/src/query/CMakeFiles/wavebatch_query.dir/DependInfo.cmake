@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/batch.cc" "src/query/CMakeFiles/wavebatch_query.dir/batch.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/batch.cc.o.d"
+  "/root/repo/src/query/derived.cc" "src/query/CMakeFiles/wavebatch_query.dir/derived.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/derived.cc.o.d"
+  "/root/repo/src/query/partition.cc" "src/query/CMakeFiles/wavebatch_query.dir/partition.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/partition.cc.o.d"
+  "/root/repo/src/query/polynomial.cc" "src/query/CMakeFiles/wavebatch_query.dir/polynomial.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/polynomial.cc.o.d"
+  "/root/repo/src/query/range.cc" "src/query/CMakeFiles/wavebatch_query.dir/range.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/range.cc.o.d"
+  "/root/repo/src/query/range_sum.cc" "src/query/CMakeFiles/wavebatch_query.dir/range_sum.cc.o" "gcc" "src/query/CMakeFiles/wavebatch_query.dir/range_sum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

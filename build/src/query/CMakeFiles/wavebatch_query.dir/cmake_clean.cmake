@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_query.dir/batch.cc.o"
+  "CMakeFiles/wavebatch_query.dir/batch.cc.o.d"
+  "CMakeFiles/wavebatch_query.dir/derived.cc.o"
+  "CMakeFiles/wavebatch_query.dir/derived.cc.o.d"
+  "CMakeFiles/wavebatch_query.dir/partition.cc.o"
+  "CMakeFiles/wavebatch_query.dir/partition.cc.o.d"
+  "CMakeFiles/wavebatch_query.dir/polynomial.cc.o"
+  "CMakeFiles/wavebatch_query.dir/polynomial.cc.o.d"
+  "CMakeFiles/wavebatch_query.dir/range.cc.o"
+  "CMakeFiles/wavebatch_query.dir/range.cc.o.d"
+  "CMakeFiles/wavebatch_query.dir/range_sum.cc.o"
+  "CMakeFiles/wavebatch_query.dir/range_sum.cc.o.d"
+  "libwavebatch_query.a"
+  "libwavebatch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_storage.dir/block_store.cc.o"
+  "CMakeFiles/wavebatch_storage.dir/block_store.cc.o.d"
+  "CMakeFiles/wavebatch_storage.dir/dense_store.cc.o"
+  "CMakeFiles/wavebatch_storage.dir/dense_store.cc.o.d"
+  "CMakeFiles/wavebatch_storage.dir/file_store.cc.o"
+  "CMakeFiles/wavebatch_storage.dir/file_store.cc.o.d"
+  "CMakeFiles/wavebatch_storage.dir/memory_store.cc.o"
+  "CMakeFiles/wavebatch_storage.dir/memory_store.cc.o.d"
+  "libwavebatch_storage.a"
+  "libwavebatch_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

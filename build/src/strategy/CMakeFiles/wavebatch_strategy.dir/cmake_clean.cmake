@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_strategy.dir/identity_strategy.cc.o"
+  "CMakeFiles/wavebatch_strategy.dir/identity_strategy.cc.o.d"
+  "CMakeFiles/wavebatch_strategy.dir/linear_strategy.cc.o"
+  "CMakeFiles/wavebatch_strategy.dir/linear_strategy.cc.o.d"
+  "CMakeFiles/wavebatch_strategy.dir/prefix_sum_strategy.cc.o"
+  "CMakeFiles/wavebatch_strategy.dir/prefix_sum_strategy.cc.o.d"
+  "CMakeFiles/wavebatch_strategy.dir/wavelet_strategy.cc.o"
+  "CMakeFiles/wavebatch_strategy.dir/wavelet_strategy.cc.o.d"
+  "libwavebatch_strategy.a"
+  "libwavebatch_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavebatch_strategy.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for wavebatch_strategy.
+# This may be replaced when dependencies are built.

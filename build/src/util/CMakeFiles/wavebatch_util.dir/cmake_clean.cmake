@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_util.dir/random.cc.o"
+  "CMakeFiles/wavebatch_util.dir/random.cc.o.d"
+  "CMakeFiles/wavebatch_util.dir/status.cc.o"
+  "CMakeFiles/wavebatch_util.dir/status.cc.o.d"
+  "CMakeFiles/wavebatch_util.dir/table.cc.o"
+  "CMakeFiles/wavebatch_util.dir/table.cc.o.d"
+  "libwavebatch_util.a"
+  "libwavebatch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

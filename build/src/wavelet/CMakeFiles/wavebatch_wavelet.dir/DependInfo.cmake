@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/dwt1d.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/dwt1d.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/dwt1d.cc.o.d"
+  "/root/repo/src/wavelet/dwt_nd.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/dwt_nd.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/dwt_nd.cc.o.d"
+  "/root/repo/src/wavelet/filters.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/filters.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/filters.cc.o.d"
+  "/root/repo/src/wavelet/impulse.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/impulse.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/impulse.cc.o.d"
+  "/root/repo/src/wavelet/lazy_query_transform.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/lazy_query_transform.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/lazy_query_transform.cc.o.d"
+  "/root/repo/src/wavelet/query_transform.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/query_transform.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/query_transform.cc.o.d"
+  "/root/repo/src/wavelet/sparse_vec.cc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/sparse_vec.cc.o" "gcc" "src/wavelet/CMakeFiles/wavebatch_wavelet.dir/sparse_vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavebatch_wavelet.dir/dwt1d.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/dwt1d.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/dwt_nd.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/dwt_nd.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/filters.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/filters.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/impulse.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/impulse.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/lazy_query_transform.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/lazy_query_transform.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/query_transform.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/query_transform.cc.o.d"
+  "CMakeFiles/wavebatch_wavelet.dir/sparse_vec.cc.o"
+  "CMakeFiles/wavebatch_wavelet.dir/sparse_vec.cc.o.d"
+  "libwavebatch_wavelet.a"
+  "libwavebatch_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavebatch_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_progressive_test.dir/block_progressive_test.cc.o"
+  "CMakeFiles/block_progressive_test.dir/block_progressive_test.cc.o.d"
+  "block_progressive_test"
+  "block_progressive_test.pdb"
+  "block_progressive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_workspace_test.dir/bounded_workspace_test.cc.o"
+  "CMakeFiles/bounded_workspace_test.dir/bounded_workspace_test.cc.o.d"
+  "bounded_workspace_test"
+  "bounded_workspace_test.pdb"
+  "bounded_workspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_workspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

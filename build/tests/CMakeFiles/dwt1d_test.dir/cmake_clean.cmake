@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt1d_test.dir/dwt1d_test.cc.o"
+  "CMakeFiles/dwt1d_test.dir/dwt1d_test.cc.o.d"
+  "dwt1d_test"
+  "dwt1d_test.pdb"
+  "dwt1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt_nd_test.dir/dwt_nd_test.cc.o"
+  "CMakeFiles/dwt_nd_test.dir/dwt_nd_test.cc.o.d"
+  "dwt_nd_test"
+  "dwt_nd_test.pdb"
+  "dwt_nd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt_nd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

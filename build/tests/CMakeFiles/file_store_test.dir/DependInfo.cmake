@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/file_store_test.cc" "tests/CMakeFiles/file_store_test.dir/file_store_test.cc.o" "gcc" "tests/CMakeFiles/file_store_test.dir/file_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wavebatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wavebatch_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wavebatch_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/wavebatch_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/penalty/CMakeFiles/wavebatch_penalty.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/wavebatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wavebatch_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/wavebatch_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/wavebatch_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wavebatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impulse_test.dir/impulse_test.cc.o"
+  "CMakeFiles/impulse_test.dir/impulse_test.cc.o.d"
+  "impulse_test"
+  "impulse_test.pdb"
+  "impulse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impulse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

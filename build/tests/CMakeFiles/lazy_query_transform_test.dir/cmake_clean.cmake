@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_query_transform_test.dir/lazy_query_transform_test.cc.o"
+  "CMakeFiles/lazy_query_transform_test.dir/lazy_query_transform_test.cc.o.d"
+  "lazy_query_transform_test"
+  "lazy_query_transform_test.pdb"
+  "lazy_query_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_query_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_list_test.dir/master_list_test.cc.o"
+  "CMakeFiles/master_list_test.dir/master_list_test.cc.o.d"
+  "master_list_test"
+  "master_list_test.pdb"
+  "master_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

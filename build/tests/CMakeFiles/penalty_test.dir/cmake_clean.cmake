@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/penalty_test.dir/penalty_test.cc.o"
+  "CMakeFiles/penalty_test.dir/penalty_test.cc.o.d"
+  "penalty_test"
+  "penalty_test.pdb"
+  "penalty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/penalty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

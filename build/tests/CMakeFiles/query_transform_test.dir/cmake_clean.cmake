@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_transform_test.dir/query_transform_test.cc.o"
+  "CMakeFiles/query_transform_test.dir/query_transform_test.cc.o.d"
+  "query_transform_test"
+  "query_transform_test.pdb"
+  "query_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_sum_test.dir/range_sum_test.cc.o"
+  "CMakeFiles/range_sum_test.dir/range_sum_test.cc.o.d"
+  "range_sum_test"
+  "range_sum_test.pdb"
+  "range_sum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

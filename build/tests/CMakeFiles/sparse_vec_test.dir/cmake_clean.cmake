@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_vec_test.dir/sparse_vec_test.cc.o"
+  "CMakeFiles/sparse_vec_test.dir/sparse_vec_test.cc.o.d"
+  "sparse_vec_test"
+  "sparse_vec_test.pdb"
+  "sparse_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
