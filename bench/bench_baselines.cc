@@ -17,6 +17,7 @@
 //   (scaling tuple budgets so the final rows are full-scan / full-list).
 
 #include <cmath>
+#include <span>
 
 #include "baselines/compressed_view.h"
 #include "baselines/online_aggregation.h"
@@ -93,9 +94,13 @@ int Main(int argc, char** argv) {
         options.num_records,
         static_cast<uint64_t>(tuples_per_coefficient *
                               static_cast<double>(budget)));
-    while (tuples_consumed < tuple_budget && stream_pos < buffered.size()) {
-      online.Observe(buffered[stream_pos++]);
-      ++tuples_consumed;
+    if (tuples_consumed < tuple_budget && stream_pos < buffered.size()) {
+      const size_t take = std::min<size_t>(tuple_budget - tuples_consumed,
+                                           buffered.size() - stream_pos);
+      online.ObserveMany(
+          std::span<const Tuple>(buffered).subspan(stream_pos, take));
+      stream_pos += take;
+      tuples_consumed += take;
     }
     const double mre_online = Mre(online.Estimates(), exp.exact);
 

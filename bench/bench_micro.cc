@@ -7,12 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <span>
+
 #include "core/master_list.h"
 #include "core/progressive.h"
 #include "data/generators.h"
 #include "data/workloads.h"
 #include "penalty/sse.h"
+#include "storage/block_store.h"
 #include "storage/dense_store.h"
+#include "storage/file_store.h"
 #include "storage/memory_store.h"
 #include "strategy/prefix_sum_strategy.h"
 #include "strategy/wavelet_strategy.h"
@@ -218,6 +223,85 @@ void BM_MasterListBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MasterListBuild)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Scalar Fetch loop vs FetchBatch — the batched retrieval plane's payoff.
+// Keys are a scattered-but-clustered pattern (golden-ratio stride) so the
+// FileStore coalescer sees a realistic mix of runs and singletons.
+
+constexpr uint64_t kFetchBenchCapacity = 1 << 16;
+
+// Clustered-run key pattern: runs of 8 near-consecutive keys scattered
+// across the file. This is the shape a master list produces — coarse-level
+// wavelet coefficients for overlapping ranges land in the same
+// neighborhood — and is what the FileStore coalescer targets.
+std::vector<uint64_t> MakeFetchKeys(size_t batch_size) {
+  std::vector<uint64_t> keys(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    const uint64_t cluster = i / 8;
+    const uint64_t base = (cluster * 2654435761u) % (kFetchBenchCapacity - 8);
+    keys[i] = base + (i % 8);
+  }
+  return keys;
+}
+
+void BM_FileStoreFetch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const std::string path = "/tmp/wavebatch_bench_store.bin";
+  Rng rng(41);
+  std::vector<double> values(kFetchBenchCapacity);
+  for (double& v : values) v = rng.Gaussian();
+  Result<std::unique_ptr<FileStore>> store = FileStore::Create(path, values);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  const std::vector<uint64_t> keys = MakeFetchKeys(batch_size);
+  std::vector<double> out(batch_size);
+  for (auto _ : state) {
+    if (batched) {
+      (*store)->FetchBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < batch_size; ++i) out[i] = (*store)->Fetch(keys[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  (*store).reset();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FileStoreFetch)
+    ->ArgsProduct({{1, 16, 256, 4096}, {0, 1}})
+    ->ArgNames({"batch", "batched"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BlockStoreFetch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Rng rng(43);
+  auto dense = std::make_unique<DenseStore>(kFetchBenchCapacity);
+  for (uint64_t k = 0; k < kFetchBenchCapacity; ++k) {
+    dense->Add(k, rng.Gaussian());
+  }
+  BlockStore store(std::move(dense), /*block_size=*/64, /*cache_blocks=*/32);
+  const std::vector<uint64_t> keys = MakeFetchKeys(batch_size);
+  std::vector<double> out(batch_size);
+  for (auto _ : state) {
+    if (batched) {
+      store.FetchBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < batch_size; ++i) out[i] = store.Fetch(keys[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.counters["block_reads"] = static_cast<double>(store.stats().block_reads);
+}
+BENCHMARK(BM_BlockStoreFetch)
+    ->ArgsProduct({{1, 16, 256, 4096}, {0, 1}})
+    ->ArgNames({"batch", "batched"})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace wavebatch

@@ -1,6 +1,7 @@
 #include "baselines/online_aggregation.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wavebatch {
 
@@ -21,6 +22,23 @@ void OnlineAggregator::Observe(const Tuple& tuple) {
       partial_sums_[i] += q.poly().Evaluate(tuple);
     }
   }
+}
+
+void OnlineAggregator::ObserveMany(std::span<const Tuple> tuples) {
+  if (tuples.empty()) return;
+  tuples_seen_ += tuples.size();
+  // Parallel over queries, serial over tuples within a query: each
+  // partial_sums_ slot is owned by one chunk and accumulates in the same
+  // order as repeated Observe() calls.
+  ThreadPool::Shared().ParallelFor(
+      batch_->size(), /*grain=*/4, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const RangeSumQuery& q = batch_->query(i);
+          for (const Tuple& t : tuples) {
+            if (q.range().Contains(t)) partial_sums_[i] += q.poly().Evaluate(t);
+          }
+        }
+      });
 }
 
 std::vector<double> OnlineAggregator::Estimates() const {

@@ -2,6 +2,7 @@
 #define WAVEBATCH_BASELINES_ONLINE_AGGREGATION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "query/batch.h"
@@ -23,6 +24,12 @@ class OnlineAggregator {
   /// Accounts one scanned tuple (tuples must arrive in random order for
   /// the estimates to be unbiased; i.i.d. generated data qualifies).
   void Observe(const Tuple& tuple);
+
+  /// Accounts a chunk of scanned tuples at once, parallelizing the
+  /// per-query containment tests across the shared ThreadPool (each query's
+  /// partial sum is accumulated by exactly one worker, in tuple order, so
+  /// results are identical to calling Observe per tuple).
+  void ObserveMany(std::span<const Tuple> tuples);
 
   uint64_t tuples_seen() const { return tuples_seen_; }
 

@@ -21,6 +21,9 @@ BoundedWorkspaceResult EvaluateWithBoundedWorkspace(
   auto flush = [&] {
     if (group.empty()) return;
     MasterList list = MasterList::FromQueryVectors(group);
+    // EvaluateShared issues chunked FetchBatch calls, so each group's
+    // retrieval is batch-native; the workspace bound still holds because
+    // only this group's coefficient lists are materialized.
     ExactBatchResult res = EvaluateShared(list, store);
     for (size_t g = 0; g < group_members.size(); ++g) {
       out.results[group_members[g]] = res.results[g];

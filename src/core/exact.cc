@@ -1,6 +1,16 @@
 #include "core/exact.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace wavebatch {
+
+namespace {
+/// Batched fetches are issued in chunks so scratch buffers stay modest even
+/// for million-entry master lists; within a chunk the store may coalesce,
+/// group, or parallelize however it likes.
+constexpr size_t kFetchChunk = 4096;
+}  // namespace
 
 ExactBatchResult EvaluateNaive(
     const std::vector<SparseVec>& query_coefficients,
@@ -8,10 +18,20 @@ ExactBatchResult EvaluateNaive(
   ExactBatchResult out;
   out.results.resize(query_coefficients.size(), 0.0);
   const uint64_t before = store.stats().retrievals;
+  std::vector<uint64_t> keys;
+  std::vector<double> values;
   for (size_t qi = 0; qi < query_coefficients.size(); ++qi) {
+    const SparseVec& coeffs = query_coefficients[qi];
     double acc = 0.0;
-    for (const SparseEntry& e : query_coefficients[qi]) {
-      acc += e.value * store.Fetch(e.key);
+    for (size_t begin = 0; begin < coeffs.size(); begin += kFetchChunk) {
+      const size_t end = std::min(coeffs.size(), begin + kFetchChunk);
+      keys.clear();
+      for (size_t i = begin; i < end; ++i) keys.push_back(coeffs[i].key);
+      values.assign(keys.size(), 0.0);
+      store.FetchBatch(keys, values);
+      for (size_t i = begin; i < end; ++i) {
+        acc += coeffs[i].value * values[i - begin];
+      }
     }
     out.results[qi] = acc;
   }
@@ -24,11 +44,22 @@ ExactBatchResult EvaluateShared(const MasterList& list,
   ExactBatchResult out;
   out.results.resize(list.num_queries(), 0.0);
   const uint64_t before = store.stats().retrievals;
-  for (const MasterEntry& entry : list.entries()) {
-    const double data = store.Fetch(entry.key);
-    if (data == 0.0) continue;
-    for (const auto& [query, coeff] : entry.uses) {
-      out.results[query] += coeff * data;
+  const std::vector<MasterEntry>& entries = list.entries();
+  std::vector<uint64_t> keys;
+  std::vector<double> values;
+  for (size_t begin = 0; begin < entries.size(); begin += kFetchChunk) {
+    const size_t end = std::min(entries.size(), begin + kFetchChunk);
+    keys.clear();
+    for (size_t i = begin; i < end; ++i) keys.push_back(entries[i].key);
+    values.assign(keys.size(), 0.0);
+    store.FetchBatch(keys, values);
+    // Entry order, like the scalar loop: identical accumulation sequence.
+    for (size_t i = begin; i < end; ++i) {
+      const double data = values[i - begin];
+      if (data == 0.0) continue;
+      for (const auto& [query, coeff] : entries[i].uses) {
+        out.results[query] += coeff * data;
+      }
     }
   }
   out.retrievals = store.stats().retrievals - before;

@@ -3,15 +3,26 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wavebatch {
 
 Result<MasterList> MasterList::Build(const QueryBatch& batch,
                                      const LinearStrategy& strategy) {
+  // The per-query sparse transforms are independent and read-only on the
+  // strategy, so they fan out across the shared pool; each slot is written
+  // by exactly one chunk, keeping results identical to the serial loop.
+  std::vector<Result<SparseVec>> transformed(batch.size(),
+                                             Result<SparseVec>(SparseVec{}));
+  ThreadPool::Shared().ParallelFor(
+      batch.size(), /*grain=*/8, [&](size_t begin, size_t end) {
+        for (size_t qi = begin; qi < end; ++qi) {
+          transformed[qi] = strategy.TransformQuery(batch.query(qi));
+        }
+      });
   std::vector<SparseVec> query_coefficients;
   query_coefficients.reserve(batch.size());
-  for (const RangeSumQuery& q : batch.queries()) {
-    Result<SparseVec> r = strategy.TransformQuery(q);
+  for (Result<SparseVec>& r : transformed) {
     if (!r.ok()) return r.status();
     query_coefficients.push_back(std::move(r).value());
   }

@@ -101,8 +101,7 @@ size_t ProgressiveEvaluator::NextEntry() const {
   return sequence_[cursor_];
 }
 
-size_t ProgressiveEvaluator::Step() {
-  WB_CHECK(!Done()) << "Step() after completion";
+size_t ProgressiveEvaluator::PopNext() {
   size_t entry_idx;
   if (order_ == ProgressionOrder::kBiggestB) {
     entry_idx = heap_.top().second;
@@ -115,7 +114,12 @@ size_t ProgressiveEvaluator::Step() {
   fetched_[entry_idx] = true;
   ++steps_taken_;
   remaining_importance_ -= importance_[entry_idx];
+  return entry_idx;
+}
 
+size_t ProgressiveEvaluator::Step() {
+  WB_CHECK(!Done()) << "Step() after completion";
+  const size_t entry_idx = PopNext();
   const MasterEntry& e = list_->entry(entry_idx);
   const double data = store_->Fetch(e.key);
   if (data != 0.0) {
@@ -128,6 +132,31 @@ size_t ProgressiveEvaluator::Step() {
 
 void ProgressiveEvaluator::StepMany(size_t n) {
   for (size_t i = 0; i < n && !Done(); ++i) Step();
+}
+
+size_t ProgressiveEvaluator::StepBatch(size_t n) {
+  n = std::min<size_t>(n, TotalSteps() - StepsTaken());
+  if (n == 0) return 0;
+  std::vector<size_t> popped;
+  popped.reserve(n);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t entry_idx = PopNext();
+    popped.push_back(entry_idx);
+    keys.push_back(list_->entry(entry_idx).key);
+  }
+  std::vector<double> values(keys.size());
+  store_->FetchBatch(keys, values);
+  // Apply in pop order: the identical floating-point accumulation sequence
+  // a scalar Step() loop would produce.
+  for (size_t i = 0; i < popped.size(); ++i) {
+    if (values[i] == 0.0) continue;
+    for (const auto& [query, coeff] : list_->entry(popped[i]).uses) {
+      estimates_[query] += coeff * values[i];
+    }
+  }
+  return n;
 }
 
 double ProgressiveEvaluator::NextImportance() const {

@@ -53,10 +53,23 @@ class ProgressiveEvaluator {
   /// that was consumed.
   size_t Step();
 
-  /// Up to `n` further retrievals (stops at completion).
+  /// Up to `n` further retrievals, one storage round-trip each (stops at
+  /// completion). Prefer StepBatch on batched backends.
   void StepMany(size_t n);
 
-  void RunToCompletion() { StepMany(TotalSteps()); }
+  /// Up to `n` further retrievals issued as ONE CoefficientStore::FetchBatch:
+  /// pops the next `n` entries in progression order, fetches their keys in
+  /// a single batched call, then applies the estimate updates in pop order.
+  /// Estimates, trackers, and retrieval counts are identical to `n` scalar
+  /// Step() calls — the batch changes I/O shape, not results. Returns the
+  /// number of steps actually taken.
+  size_t StepBatch(size_t n);
+
+  void RunToCompletion() {
+    // Chunked so the scratch key/value buffers stay cache-sized even for
+    // huge master lists.
+    while (!Done()) StepBatch(4096);
+  }
 
   /// Current progressive estimates (exact once Done()).
   const std::vector<double>& Estimates() const { return estimates_; }
@@ -85,6 +98,7 @@ class ProgressiveEvaluator {
  private:
   void BuildOrder(ProgressionOrder order, uint64_t seed);
   size_t NextEntry() const;  // entry the next Step() will take
+  size_t PopNext();          // consume the next entry (bookkeeping only)
 
   const MasterList* list_;
   const PenaltyFunction* penalty_;

@@ -1,5 +1,7 @@
 #include "storage/block_store.h"
 
+#include <unordered_set>
+
 #include "util/check.h"
 
 namespace wavebatch {
@@ -32,14 +34,31 @@ bool BlockStore::Touch(uint64_t block) {
   return false;
 }
 
-double BlockStore::Fetch(uint64_t key) {
-  ++stats_.retrievals;
+double BlockStore::DoFetch(uint64_t key) {
   if (Touch(key / block_size_)) {
     ++stats_.block_hits;
   } else {
     ++stats_.block_reads;
   }
   return inner_->Peek(key);
+}
+
+void BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
+                              std::span<double> out) {
+  // Touch each distinct block once, in first-appearance order (so the LRU
+  // state after the call matches a scalar loop's up to refresh order).
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size());
+  for (uint64_t key : keys) {
+    const uint64_t block = key / block_size_;
+    if (!seen.insert(block).second) continue;
+    if (Touch(block)) {
+      ++stats_.block_hits;
+    } else {
+      ++stats_.block_reads;
+    }
+  }
+  for (size_t i = 0; i < keys.size(); ++i) out[i] = inner_->Peek(keys[i]);
 }
 
 void BlockStore::Add(uint64_t key, double delta) { inner_->Add(key, delta); }

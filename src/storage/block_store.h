@@ -28,7 +28,6 @@ class BlockStore : public CoefficientStore {
              uint64_t cache_blocks);
 
   double Peek(uint64_t key) const override;
-  double Fetch(uint64_t key) override;
   void Add(uint64_t key, double delta) override;
   uint64_t NumNonZero() const override;
   double SumAbs() const override;
@@ -37,6 +36,17 @@ class BlockStore : public CoefficientStore {
   std::string name() const override;
 
   uint64_t block_size() const { return block_size_; }
+
+ protected:
+  double DoFetch(uint64_t key) override;
+
+  /// Groups the batch by block id and touches each distinct block exactly
+  /// once (in first-appearance order): one batched call reads a block at
+  /// most once no matter how many of its coefficients the batch wants —
+  /// the whole point of block-granularity batching. Values are identical
+  /// to a scalar Fetch loop; block_reads can only be lower.
+  void DoFetchBatch(std::span<const uint64_t> keys,
+                    std::span<double> out) override;
 
  private:
   /// Records the block access; returns true on cache hit.

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+
+#include "util/check.h"
 
 namespace wavebatch {
 
@@ -24,9 +27,18 @@ struct IoStats {
 };
 
 /// The materialized view Δ̂ (or any other linear transform of Δ): a map from
-/// 64-bit coefficient keys to values with constant-time access. Fetch() is
-/// the *counted* access used by evaluators; Peek() is free and used by
-/// tests, bounds computation, and internal plumbing.
+/// 64-bit coefficient keys to values with constant-time access. Fetch() and
+/// FetchBatch() are the *counted* accesses used by evaluators; Peek() is
+/// free and used by tests, bounds computation, and internal plumbing.
+///
+/// Fetch/FetchBatch are non-virtual on purpose: they do the cost-model
+/// accounting here, once, and delegate to the protected DoFetch/DoFetchBatch
+/// hooks — so a backend override can never silently skip stats_.retrievals.
+/// FetchBatch is the hot path: backends coalesce, group, or parallelize the
+/// batch (FileStore sorts keys into contiguous reads; BlockStore touches
+/// each distinct block once), but every backend returns exactly the values
+/// a scalar Fetch loop would, and retrievals are counted per coefficient
+/// either way — batching changes the speed, never the cost model.
 class CoefficientStore {
  public:
   virtual ~CoefficientStore() = default;
@@ -35,9 +47,18 @@ class CoefficientStore {
   virtual double Peek(uint64_t key) const = 0;
 
   /// Counted retrieval: one unit of I/O in the paper's cost model.
-  virtual double Fetch(uint64_t key) {
+  double Fetch(uint64_t key) {
     ++stats_.retrievals;
-    return Peek(key);
+    return DoFetch(key);
+  }
+
+  /// Counted vectorized retrieval: `out[i] = value at keys[i]` for every i,
+  /// counting keys.size() retrievals (duplicates each count — identical
+  /// accounting to a scalar Fetch loop). Requires keys.size() == out.size().
+  void FetchBatch(std::span<const uint64_t> keys, std::span<double> out) {
+    WB_CHECK_EQ(keys.size(), out.size());
+    stats_.retrievals += keys.size();
+    DoFetchBatch(keys, out);
   }
 
   /// Adds `delta` to the coefficient at `key` (the tuple-insertion path).
@@ -61,6 +82,16 @@ class CoefficientStore {
   void ResetStats() { stats_.Reset(); }
 
  protected:
+  /// Backend hook for one counted retrieval. Accounting already done.
+  virtual double DoFetch(uint64_t key) { return Peek(key); }
+
+  /// Backend hook for a counted batch. Accounting already done; must fill
+  /// out[i] with the value at keys[i] — same values as a DoFetch loop.
+  virtual void DoFetchBatch(std::span<const uint64_t> keys,
+                            std::span<double> out) {
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = DoFetch(keys[i]);
+  }
+
   IoStats stats_;
 };
 

@@ -16,6 +16,14 @@ void DenseStore::Add(uint64_t key, double delta) {
   values_[key] += delta;
 }
 
+void DenseStore::DoFetchBatch(std::span<const uint64_t> keys,
+                              std::span<double> out) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    WB_CHECK_LT(keys[i], values_.size()) << "key outside dense store capacity";
+    out[i] = values_[keys[i]];
+  }
+}
+
 uint64_t DenseStore::NumNonZero() const {
   uint64_t n = 0;
   for (double v : values_) {

@@ -30,6 +30,11 @@ class DenseStore : public CoefficientStore {
 
   uint64_t capacity() const { return values_.size(); }
 
+ protected:
+  /// Single-probe gather over the backing array.
+  void DoFetchBatch(std::span<const uint64_t> keys,
+                    std::span<double> out) override;
+
  private:
   std::vector<double> values_;
 };

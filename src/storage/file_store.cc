@@ -3,12 +3,15 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wavebatch {
 
@@ -73,6 +76,76 @@ void FileStore::Add(uint64_t key, double delta) {
                                static_cast<off_t>(key * sizeof(double)));
   WB_CHECK_EQ(put, static_cast<ssize_t>(sizeof(value)))
       << "short write to " << path_;
+}
+
+namespace {
+/// Keys this close (in coefficients) are folded into one read: reading a
+/// few wasted doubles is cheaper than another syscall + seek.
+constexpr uint64_t kMaxCoalesceGap = 8;
+/// Below this batch size the pool handoff costs more than it saves.
+constexpr size_t kParallelFetchThreshold = 256;
+}  // namespace
+
+void FileStore::ReadRun(const Run& run, std::span<const uint64_t> keys,
+                        std::span<const size_t> order,
+                        std::span<double> out) const {
+  const size_t count = static_cast<size_t>(run.last_key - run.first_key + 1);
+  std::vector<double> buffer(count);
+  size_t filled = 0;
+  const size_t want_bytes = count * sizeof(double);
+  while (filled < want_bytes) {
+    const ssize_t got = ::pread(
+        fd_, reinterpret_cast<char*>(buffer.data()) + filled,
+        want_bytes - filled,
+        static_cast<off_t>(run.first_key * sizeof(double) + filled));
+    WB_CHECK_GT(got, 0) << "short read from " << path_;
+    filled += static_cast<size_t>(got);
+  }
+  for (size_t t = run.targets_begin; t < run.targets_end; ++t) {
+    const size_t i = order[t];
+    out[i] = buffer[keys[i] - run.first_key];
+  }
+}
+
+void FileStore::DoFetchBatch(std::span<const uint64_t> keys,
+                             std::span<double> out) {
+  if (keys.empty()) return;
+  if (keys.size() == 1) {
+    out[0] = Peek(keys[0]);
+    return;
+  }
+  // Key-sorted order turns scattered point reads into forward-moving,
+  // mostly-contiguous reads that the page cache and readahead like.
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  WB_CHECK_LT(keys[order.back()], capacity_)
+      << "key outside file store capacity";
+
+  std::vector<Run> runs;
+  for (size_t t = 0; t < order.size(); ++t) {
+    const uint64_t key = keys[order[t]];
+    if (runs.empty() || key > runs.back().last_key + kMaxCoalesceGap) {
+      runs.push_back({key, key, t, t + 1});
+    } else {
+      runs.back().last_key = std::max(runs.back().last_key, key);
+      runs.back().targets_end = t + 1;
+    }
+  }
+
+  if (keys.size() < kParallelFetchThreshold || runs.size() == 1) {
+    for (const Run& run : runs) ReadRun(run, keys, order, out);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(
+      runs.size(), /*grain=*/std::max<size_t>(1, runs.size() / 64),
+      [&](size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          ReadRun(runs[r], keys, order, out);
+        }
+      });
 }
 
 uint64_t FileStore::NumNonZero() const {

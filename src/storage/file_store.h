@@ -14,6 +14,12 @@ namespace wavebatch {
 /// flat array of little-endian doubles indexed by key; Peek/Fetch issue a
 /// positioned read (pread) per coefficient, Add a read-modify-write.
 ///
+/// FetchBatch is where this backend earns its keep: keys are sorted, runs
+/// of nearby keys are coalesced into single positioned reads, and large
+/// batches spread their reads across the shared ThreadPool (pread is
+/// thread-safe on one descriptor). Retrievals are still counted per
+/// coefficient — coalescing changes syscalls, not the paper's cost model.
+///
 /// This is the reference implementation for measuring real random-access
 /// behavior; production deployments would add a buffer pool (compose with
 /// BlockStore for the simulated version).
@@ -43,7 +49,25 @@ class FileStore : public CoefficientStore {
   uint64_t capacity() const { return capacity_; }
   const std::string& path() const { return path_; }
 
+ protected:
+  void DoFetchBatch(std::span<const uint64_t> keys,
+                    std::span<double> out) override;
+
  private:
+  /// One coalesced read covering file keys [first_key, last_key]; `targets`
+  /// lists (key, out index) pairs to scatter from the read buffer.
+  struct Run {
+    uint64_t first_key;
+    uint64_t last_key;
+    size_t targets_begin;  // range into the batch's key-sorted index order
+    size_t targets_end;
+  };
+
+  /// Reads `run` with a single pread and scatters into `out` via `order`
+  /// (indices into keys/out, sorted by key).
+  void ReadRun(const Run& run, std::span<const uint64_t> keys,
+               std::span<const size_t> order, std::span<double> out) const;
+
   FileStore(std::string path, int fd, uint64_t capacity)
       : path_(std::move(path)), fd_(fd), capacity_(capacity) {}
 

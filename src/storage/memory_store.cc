@@ -23,6 +23,14 @@ void HashStore::Add(uint64_t key, double delta) {
   }
 }
 
+void HashStore::DoFetchBatch(std::span<const uint64_t> keys,
+                             std::span<double> out) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = map_.find(keys[i]);
+    out[i] = it == map_.end() ? 0.0 : it->second;
+  }
+}
+
 uint64_t HashStore::NumNonZero() const { return map_.size(); }
 
 void HashStore::ForEachNonZero(

@@ -29,6 +29,12 @@ class HashStore : public CoefficientStore {
 
   const std::unordered_map<uint64_t, double>& map() const { return map_; }
 
+ protected:
+  /// Single-probe loop straight on the hash map (skips per-key virtual
+  /// dispatch; constant-time probes don't benefit from reordering).
+  void DoFetchBatch(std::span<const uint64_t> keys,
+                    std::span<double> out) override;
+
  private:
   std::unordered_map<uint64_t, double> map_;
 };

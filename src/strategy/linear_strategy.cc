@@ -1,8 +1,26 @@
 #include "strategy/linear_strategy.h"
 
+#include <vector>
+
 #include "util/check.h"
 
 namespace wavebatch {
+
+Result<double> LinearStrategy::AnswerQuery(const RangeSumQuery& query,
+                                           CoefficientStore& store) const {
+  Result<SparseVec> coeffs = TransformQuery(query);
+  if (!coeffs.ok()) return coeffs.status();
+  std::vector<uint64_t> keys;
+  keys.reserve(coeffs->size());
+  for (const SparseEntry& e : *coeffs) keys.push_back(e.key);
+  std::vector<double> values(keys.size());
+  store.FetchBatch(keys, values);
+  double acc = 0.0;
+  for (size_t i = 0; i < coeffs->size(); ++i) {
+    acc += (*coeffs)[i].value * values[i];
+  }
+  return acc;
+}
 
 std::unique_ptr<CoefficientStore> LinearStrategy::BuildStoreFromRelation(
     const Relation& relation) const {

@@ -50,6 +50,14 @@ class LinearStrategy {
   std::unique_ptr<CoefficientStore> BuildStoreFromRelation(
       const Relation& relation) const;
 
+  /// Answers a single query exactly: rewrites it and retrieves all of its
+  /// coefficients with ONE CoefficientStore::FetchBatch — e.g. the
+  /// prefix-sum strategy's ≤2^d corner lookups become one batched probe
+  /// instead of 2^d round-trips. Costs exactly TransformQuery(query)->size()
+  /// retrievals, the strategy's single-query I/O cost.
+  Result<double> AnswerQuery(const RangeSumQuery& query,
+                             CoefficientStore& store) const;
+
   virtual std::string name() const = 0;
 
  protected:

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  WB_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WB_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  // Work-sharing: helpers and the caller all pull chunk indices from one
+  // atomic counter; the caller then waits for the last chunk to finish.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  auto run_chunks = [state, n, grain, num_chunks, &fn] {
+    for (;;) {
+      const size_t chunk = state->next.fetch_add(1);
+      if (chunk >= num_chunks) return;
+      const size_t begin = chunk * grain;
+      fn(begin, std::min(n, begin + grain));
+      if (state->done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    // The lambda copies the shared state but captures `fn` by reference:
+    // safe because the caller blocks below until all chunks are done.
+    Submit([run_chunks] { run_chunks(); });
+  }
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == num_chunks; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace wavebatch

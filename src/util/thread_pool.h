@@ -1,0 +1,67 @@
+#ifndef WAVEBATCH_UTIL_THREAD_POOL_H_
+#define WAVEBATCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wavebatch {
+
+/// A fixed-size worker pool with a FIFO task queue. Used for intra-batch
+/// I/O parallelism (FileStore::FetchBatch) and per-query transform
+/// parallelism (MasterList::Build). Deliberately minimal: no futures, no
+/// work stealing — callers that need completion tracking use ParallelFor,
+/// which is the only blocking primitive.
+///
+/// All scheduling here is *deterministic in results*: ParallelFor
+/// partitions an index range into fixed chunks and each chunk writes only
+/// its own outputs, so parallel execution produces bit-identical results
+/// to the serial loop regardless of interleaving.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1). A pool with 1 worker still runs tasks on that worker;
+  /// ParallelFor additionally runs chunks on the calling thread.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker. Fire-and-forget; use
+  /// ParallelFor when completion must be observed.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
+  /// `grain` indices and blocks until every chunk has finished. The calling
+  /// thread participates (it never merely waits while work remains), so
+  /// ParallelFor cannot deadlock even when every worker is busy or the pool
+  /// is tiny. Chunk boundaries depend only on (n, grain), never on thread
+  /// count — results must not depend on which thread ran a chunk.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide shared pool (sized to the hardware), created on first
+  /// use. Library code that wants "parallel if possible" without plumbing
+  /// a pool through every signature uses this.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_THREAD_POOL_H_

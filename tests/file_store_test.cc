@@ -1,7 +1,9 @@
 #include "storage/file_store.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/exact.h"
 #include "data/generators.h"
@@ -79,6 +81,40 @@ TEST_F(FileStoreTest, ForEachNonZeroScansEverything) {
   EXPECT_EQ(seen[0], (std::pair<uint64_t, double>{7, 1.0}));
   EXPECT_EQ(seen[1], (std::pair<uint64_t, double>{4096, -1.0}));
   EXPECT_EQ(seen[2], (std::pair<uint64_t, double>{9999, 2.0}));
+}
+
+TEST_F(FileStoreTest, FetchBatchMatchesScalarLoop) {
+  // Values/retrievals identical to a Fetch loop, across batch shapes that
+  // exercise every coalescing path: unsorted, duplicates, contiguous runs,
+  // gap-merged runs, far-apart singletons, and a batch large enough to
+  // cross the parallel-fetch threshold.
+  std::vector<double> values(8192);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i));
+  }
+  Result<std::unique_ptr<FileStore>> store = FileStore::Create(path_, values);
+  ASSERT_TRUE(store.ok());
+
+  std::vector<std::vector<uint64_t>> batches = {
+      {},
+      {5},
+      {5, 5, 5},
+      {9, 2, 0, 8191, 4096, 3, 2},
+      {100, 101, 102, 103, 110, 200, 8000, 8001},
+  };
+  std::vector<uint64_t> big;
+  for (uint64_t i = 0; i < 2048; ++i) big.push_back((i * 2654435761u) % 8192);
+  batches.push_back(big);
+
+  for (const std::vector<uint64_t>& keys : batches) {
+    (*store)->ResetStats();
+    std::vector<double> out(keys.size(), -1.0);
+    (*store)->FetchBatch(keys, out);
+    EXPECT_EQ((*store)->stats().retrievals, keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(out[i], values[keys[i]]) << "key " << keys[i];
+    }
+  }
 }
 
 TEST_F(FileStoreTest, AnswersBatchQueriesLikeInMemoryStore) {

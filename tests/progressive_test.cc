@@ -1,5 +1,6 @@
 #include "core/progressive.h"
 
+#include <iterator>
 #include <memory>
 
 #include "core/exact.h"
@@ -107,6 +108,59 @@ TEST(ProgressiveTest, StepManyStopsAtCompletion) {
   EXPECT_TRUE(ev.Done());
 }
 
+TEST_P(ProgressiveOrderTest, StepManyOvershootMidRunStopsAtCompletion) {
+  // n > TotalSteps() - StepsTaken() must finish cleanly, not over-step.
+  Fixture f;
+  SsePenalty sse;
+  f.store->ResetStats();
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
+  ev.StepMany(f.list.size() / 2);
+  const uint64_t taken = ev.StepsTaken();
+  ev.StepMany((f.list.size() - taken) + 1000);
+  EXPECT_TRUE(ev.Done());
+  EXPECT_EQ(ev.StepsTaken(), f.list.size());
+  EXPECT_EQ(f.store->stats().retrievals, f.list.size());
+}
+
+TEST_P(ProgressiveOrderTest, StepBatchOvershootStopsAtCompletion) {
+  Fixture f;
+  SsePenalty sse;
+  ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
+  EXPECT_EQ(ev.StepBatch(f.list.size() + 999), f.list.size());
+  EXPECT_TRUE(ev.Done());
+  EXPECT_EQ(ev.StepBatch(4), 0u);  // no-op once done
+}
+
+TEST_P(ProgressiveOrderTest, StepBatchGoldenMatchesScalarSteps) {
+  // StepBatch(n) must reproduce n scalar Step() calls exactly: estimates,
+  // steps taken, retrieval counts, and both penalty trackers, at every
+  // batch boundary, under every progression order.
+  Fixture f;
+  SsePenalty sse;
+  const double k = f.store->SumAbs();
+  f.store->ResetStats();
+  ProgressiveEvaluator scalar(&f.list, &sse, f.store.get(), GetParam(), 17);
+  ProgressiveEvaluator batched(&f.list, &sse, f.store.get(), GetParam(), 17);
+  const size_t batch_sizes[] = {1, 3, 7, 16, 64};
+  size_t bi = 0;
+  while (!batched.Done()) {
+    const size_t n = batch_sizes[bi++ % std::size(batch_sizes)];
+    const size_t taken = batched.StepBatch(n);
+    for (size_t i = 0; i < taken; ++i) scalar.Step();
+    ASSERT_EQ(batched.StepsTaken(), scalar.StepsTaken());
+    for (size_t q = 0; q < f.batch.size(); ++q) {
+      EXPECT_EQ(batched.Estimates()[q], scalar.Estimates()[q])
+          << "query " << q << " after " << batched.StepsTaken() << " steps";
+    }
+    EXPECT_EQ(batched.WorstCaseBound(k), scalar.WorstCaseBound(k));
+    EXPECT_EQ(batched.ExpectedPenalty(f.schema.cell_count()),
+              scalar.ExpectedPenalty(f.schema.cell_count()));
+  }
+  EXPECT_TRUE(scalar.Done());
+  // Batched and scalar twins cost the same retrievals.
+  EXPECT_EQ(f.store->stats().retrievals, 2 * f.list.size());
+}
+
 TEST(ProgressiveTest, PartialEstimatesAreBTermApproximations) {
   // After B steps the estimate equals the inner product of the B-term
   // truncated query with the data (cross-check against manual truncation).
@@ -160,15 +214,26 @@ TEST(ProgressiveTest, ExpectedPenaltyDecreasesMonotonically) {
 }
 
 TEST(ProgressiveTest, RandomOrderIsSeedDeterministic) {
+  // Same seed: the full progression (entry sequence and estimates) is
+  // reproducible; a different seed permutes the list differently.
   Fixture f;
   SsePenalty sse;
   ProgressiveEvaluator a(&f.list, &sse, f.store.get(),
                          ProgressionOrder::kRandom, 99);
   ProgressiveEvaluator b(&f.list, &sse, f.store.get(),
                          ProgressionOrder::kRandom, 99);
-  for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(a.Step(), b.Step());
+  ProgressiveEvaluator other(&f.list, &sse, f.store.get(),
+                             ProgressionOrder::kRandom, 100);
+  bool any_differs = false;
+  while (!a.Done()) {
+    const size_t entry = a.Step();
+    EXPECT_EQ(entry, b.Step());
+    any_differs |= entry != other.Step();
+    for (size_t q = 0; q < f.batch.size(); ++q) {
+      EXPECT_EQ(a.Estimates()[q], b.Estimates()[q]);
+    }
   }
+  EXPECT_TRUE(any_differs) << "seed should change the random order";
 }
 
 TEST(ProgressiveTest, ImportanceMatchesPenaltyOfCoefficientColumn) {

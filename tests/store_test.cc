@@ -1,4 +1,5 @@
 #include <memory>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "storage/block_store.h"
@@ -150,6 +151,93 @@ TEST(BlockStoreTest, DelegatesValuesAndUpdates) {
   EXPECT_DOUBLE_EQ(store.Peek(5), 7.0);
   EXPECT_EQ(store.NumNonZero(), 64u);
   EXPECT_EQ(store.name(), "blocked(hash)");
+}
+
+// ---------------------------------------------------------------------------
+// FetchBatch: behaviorally equivalent to a scalar Fetch loop on every store
+// (same values, same retrieval count); BlockStore additionally reads each
+// distinct block at most once per call.
+
+/// Runs the same key sequence through `batch_store` (one FetchBatch) and
+/// `scalar_store` (a Fetch loop) — the two stores must hold identical data.
+void ExpectBatchMatchesScalar(CoefficientStore& batch_store,
+                              CoefficientStore& scalar_store,
+                              const std::vector<uint64_t>& keys) {
+  batch_store.ResetStats();
+  scalar_store.ResetStats();
+  std::vector<double> batched(keys.size());
+  batch_store.FetchBatch(keys, batched);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(batched[i], scalar_store.Fetch(keys[i])) << "key " << keys[i];
+  }
+  EXPECT_EQ(batch_store.stats().retrievals, scalar_store.stats().retrievals);
+  EXPECT_EQ(batch_store.stats().retrievals, keys.size());
+}
+
+TEST(FetchBatchTest, HashStoreMatchesScalarLoop) {
+  HashStore a, b;
+  for (uint64_t k = 0; k < 32; k += 2) {
+    a.Add(k, static_cast<double>(k) * 0.5);
+    b.Add(k, static_cast<double>(k) * 0.5);
+  }
+  // Unsorted, with duplicates and absent keys.
+  ExpectBatchMatchesScalar(a, b, {9, 2, 2, 31, 0, 30, 2});
+}
+
+TEST(FetchBatchTest, DenseStoreMatchesScalarLoop) {
+  std::vector<double> values(64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 3 == 0) ? 0.0 : static_cast<double>(i);
+  }
+  DenseStore a(values), b(values);
+  ExpectBatchMatchesScalar(a, b, {63, 0, 17, 17, 5, 44});
+}
+
+TEST(FetchBatchTest, BlockStoreMatchesScalarValuesAndRetrievals) {
+  BlockStore a(MakeInner(), 8, 4), b(MakeInner(), 8, 4);
+  ExpectBatchMatchesScalar(a, b, {0, 7, 63, 8, 9, 1, 1});
+}
+
+TEST(FetchBatchTest, EmptyBatchIsFree) {
+  HashStore store;
+  store.FetchBatch({}, {});
+  EXPECT_EQ(store.stats().retrievals, 0u);
+}
+
+TEST(FetchBatchTest, BlockStoreReadsEachDistinctBlockOnce) {
+  // 16 coefficients spanning 2 blocks, unbuffered: a scalar loop would
+  // charge 16 block reads; one batched call charges exactly 2.
+  BlockStore store(MakeInner(), /*block_size=*/8, /*cache_blocks=*/0);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 16; ++k) keys.push_back(k);
+  std::vector<double> out(keys.size());
+  store.FetchBatch(keys, out);
+  EXPECT_EQ(store.stats().retrievals, 16u);
+  EXPECT_EQ(store.stats().block_reads, 2u);
+  EXPECT_EQ(store.stats().block_hits, 0u);
+}
+
+TEST(FetchBatchTest, BlockStoreBatchStillHitsWarmCache) {
+  BlockStore store(MakeInner(), 8, 4);
+  store.Fetch(0);  // warms block 0
+  std::vector<uint64_t> keys = {1, 2, 3, 8};
+  std::vector<double> out(keys.size());
+  store.FetchBatch(keys, out);
+  // Block 0 is a (single) hit, block 1 a (single) read.
+  EXPECT_EQ(store.stats().block_reads, 2u);  // initial Fetch + block 1
+  EXPECT_EQ(store.stats().block_hits, 1u);
+}
+
+TEST(FetchBatchTest, DuplicateKeysEachCountAsRetrieval) {
+  // Duplicates cost one retrieval each — identical to the scalar loop, so
+  // batching can never *undercount* the paper's metric.
+  HashStore store;
+  store.Add(3, 1.5);
+  std::vector<uint64_t> keys = {3, 3, 3};
+  std::vector<double> out(keys.size());
+  store.FetchBatch(keys, out);
+  EXPECT_EQ(store.stats().retrievals, 3u);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 1.5);
 }
 
 }  // namespace

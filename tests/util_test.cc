@@ -1,12 +1,19 @@
 #include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "util/bits.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace wavebatch {
 namespace {
@@ -231,6 +238,79 @@ TEST(FormatDoubleTest, SignificantDigits) {
   EXPECT_EQ(FormatDouble(1.0), "1");
   EXPECT_EQ(FormatDouble(0.125), "0.125");
   EXPECT_EQ(FormatDouble(1234567.0, 3), "1.23e+06");
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::promise<void> all_done;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), /*grain=*/7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 16, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleChunkRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(5, 16, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, 3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkBoundariesIndependentOfThreadCount) {
+  // Determinism contract: chunking depends only on (n, grain).
+  auto collect = [](ThreadPool& pool) {
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(50, 8, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({begin, end});
+    });
+    return chunks;
+  };
+  ThreadPool one(1), many(8);
+  EXPECT_EQ(collect(one), collect(many));
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 1u);
 }
 
 }  // namespace
