@@ -11,8 +11,8 @@
 #include <unordered_map>
 
 #include "bench_common.h"
-#include "core/block_progressive.h"
-#include "core/progressive.h"
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
 #include "penalty/sse.h"
 #include "storage/block_store.h"
 #include "storage/dense_store.h"
@@ -60,11 +60,15 @@ int Main(int argc, char** argv) {
       rank_queries[q] = SparseVec::FromSorted(std::move(per_query[q]));
     }
   }
-  MasterList rank_list = MasterList::FromQueryVectors(rank_queries);
+  auto rank_list_ptr = std::make_shared<const MasterList>(
+      MasterList::FromQueryVectors(rank_queries));
+  const MasterList& rank_list = *rank_list_ptr;
   const size_t budget = static_cast<size_t>(
       budget_frac * static_cast<double>(rank_list.size()));
 
-  SsePenalty sse;
+  auto sse = std::make_shared<SsePenalty>();
+  std::shared_ptr<const EvalPlan> plan =
+      EvalPlan::FromMasterList(rank_list_ptr, sse);
   Table table({"block size", "cache blocks", "order", "coeff fetches",
                "block reads", "hit rate"});
   for (uint64_t block_size : {16, 64, 256}) {
@@ -73,9 +77,11 @@ int Main(int argc, char** argv) {
            {ProgressionOrder::kBiggestB, ProgressionOrder::kKeyOrder}) {
         BlockStore store(std::make_unique<DenseStore>(packed), block_size,
                          cache_blocks);
-        ProgressiveEvaluator ev(&rank_list, &sse, &store, order);
+        EvalSession::Options opts;
+        opts.order = order;
+        EvalSession ev(plan, UnownedStore(store), opts);
         ev.StepMany(budget);
-        const IoStats& stats = store.stats();
+        const IoStats& stats = ev.io();
         const double accesses =
             static_cast<double>(stats.block_hits + stats.block_reads);
         table.AddRow(
@@ -113,9 +119,10 @@ int Main(int argc, char** argv) {
   };
   DenseStore block_store(packed);
   DenseStore coeff_store(packed);
-  BlockProgressiveEvaluator by_block(&rank_list, &sse, &block_store,
-                                     block_of);
-  ProgressiveEvaluator by_coeff(&rank_list, &sse, &coeff_store);
+  EvalSession::Options block_opts;
+  block_opts.block_of = block_of;
+  EvalSession by_block(plan, UnownedStore(block_store), block_opts);
+  EvalSession by_coeff(plan, UnownedStore(coeff_store));
   std::set<uint64_t> coeff_blocks_touched;
   Table error_table({"block reads", "nsse[block-importance]",
                      "nsse[coeff-importance]", "coeff fetches (block/coeff)"});

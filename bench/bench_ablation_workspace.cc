@@ -6,7 +6,7 @@
 // shared (whole batch in memory, minimal I/O) extremes.
 
 #include "bench_common.h"
-#include "core/bounded_workspace.h"
+#include "engine/bounded.h"
 #include "util/table.h"
 
 namespace wavebatch::bench {
@@ -36,8 +36,9 @@ int Main(int argc, char** argv) {
        {0.0, 0.01, 0.03, 0.0625, 0.125, 0.25, 0.5, 1.0}) {
     const uint64_t budget = std::max<uint64_t>(
         1, static_cast<uint64_t>(frac * static_cast<double>(naive)));
-    exp.store->ResetStats();
-    BoundedWorkspaceResult res = EvaluateWithBoundedWorkspace(
+    // Retrievals are counted per run by the session's own IoStats sink, so
+    // back-to-back sweeps don't contaminate each other.
+    BoundedRunResult res = RunWithBoundedWorkspace(
         exp.workload.batch, exp.strategy, *exp.store, budget);
     // Sanity: results must match the reference.
     double max_rel = 0.0;
@@ -52,8 +53,8 @@ int Main(int argc, char** argv) {
       return 1;
     }
     table.AddRow({std::to_string(budget), std::to_string(res.num_groups),
-                  std::to_string(res.retrievals),
-                  FormatDouble(static_cast<double>(res.retrievals) /
+                  std::to_string(res.io.retrievals),
+                  FormatDouble(static_cast<double>(res.io.retrievals) /
                                    static_cast<double>(shared),
                                4),
                   std::to_string(res.peak_workspace)});

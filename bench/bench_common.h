@@ -106,11 +106,69 @@ struct Experiment {
     }
     list = std::move(built).value();
     // Reference results: exact shared evaluation (itself validated against
-    // brute force in the test suite).
+    // brute force in the test suite). I/O is counted per caller-provided
+    // sink now, so the warm-up fetches here don't pollute later
+    // measurements — there is no store-level counter to reset.
     ExactBatchResult res = EvaluateShared(list, *store);
     exact = std::move(res.results);
-    store->ResetStats();
   }
+};
+
+/// Accumulates benchmark records and writes them as a JSON array — the
+/// machine-readable companion to the CSV output. Schema per record:
+/// {"name": ..., "params": {...}, "median_ns": ..., "retrievals": ...}.
+class BenchJson {
+ public:
+  void Add(const std::string& name,
+           const std::map<std::string, std::string>& params,
+           double median_ns, uint64_t retrievals) {
+    records_.push_back({name, params, median_ns, retrievals});
+  }
+
+  bool Write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "  {\"name\": \"%s\", \"params\": {",
+                   Escaped(r.name).c_str());
+      size_t k = 0;
+      for (const auto& [key, value] : r.params) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", k++ ? ", " : "",
+                     Escaped(key).c_str(), Escaped(value).c_str());
+      }
+      std::fprintf(f, "}, \"median_ns\": %.3f, \"retrievals\": %llu}%s\n",
+                   r.median_ns,
+                   static_cast<unsigned long long>(r.retrievals),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::cerr << "wrote " << path << " (" << records_.size()
+              << " records)" << std::endl;
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::map<std::string, std::string> params;
+    double median_ns;
+    uint64_t retrievals;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Record> records_;
 };
 
 /// Default options matching the paper's 5-dim schema at a scale a laptop

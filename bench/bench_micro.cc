@@ -8,11 +8,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "core/master_list.h"
 #include "core/progressive.h"
 #include "data/generators.h"
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
+#include "engine/plan_cache.h"
 #include "data/workloads.h"
 #include "penalty/sse.h"
 #include "storage/block_store.h"
@@ -201,6 +207,95 @@ void BM_ProgressiveStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ProgressiveStep)->Unit(benchmark::kNanosecond);
 
+void BM_EngineSessionStep(benchmark::State& state) {
+  // Same workload through the engine layer: the plan is built once and the
+  // per-step cost is just cursor advance + fetch + estimate updates (no
+  // heap pop — the progression order is a precomputed permutation).
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 200000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const std::vector<size_t> parts = {8, 8, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  std::shared_ptr<const CoefficientStore> store = strategy.BuildStore(cube);
+  auto sse = std::make_shared<SsePenalty>();
+  std::shared_ptr<const EvalPlan> plan =
+      EvalPlan::Build(w.batch, strategy, sse).value();
+  EvalSession session(plan, store);
+  for (auto _ : state) {
+    if (session.Done()) {
+      state.PauseTiming();
+      session = EvalSession(plan, store);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session.Step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineSessionStep)->Unit(benchmark::kNanosecond);
+
+void BM_PlanBuild(benchmark::State& state) {
+  // Replanning from scratch: master list + importances + permutations.
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 100000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const size_t grid = static_cast<size_t>(state.range(0));
+  const std::vector<size_t> parts = {grid, grid, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  auto sse = std::make_shared<SsePenalty>();
+  for (auto _ : state) {
+    Result<std::shared_ptr<const EvalPlan>> plan =
+        EvalPlan::Build(w.batch, strategy, sse);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * w.batch.size());
+}
+BENCHMARK(BM_PlanBuild)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  // The repeated-dashboard case: an identical batch arrives again and the
+  // cache hands back the shared plan. Compare against BM_PlanBuild at the
+  // same grid size for the hit-vs-replan ratio.
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 100000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const size_t grid = static_cast<size_t>(state.range(0));
+  const std::vector<size_t> parts = {grid, grid, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  auto sse = std::make_shared<SsePenalty>();
+  PlanCache cache(8);
+  benchmark::DoNotOptimize(cache.GetOrBuild(w.batch, strategy, sse).ok());
+  for (auto _ : state) {
+    Result<std::shared_ptr<const EvalPlan>> plan =
+        cache.GetOrBuild(w.batch, strategy, sse);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * w.batch.size());
+}
+BENCHMARK(BM_PlanCacheHit)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_MasterListBuild(benchmark::State& state) {
   TemperatureDatasetOptions options;
   options.lat_size = 32;
@@ -287,16 +382,19 @@ void BM_BlockStoreFetch(benchmark::State& state) {
   BlockStore store(std::move(dense), /*block_size=*/64, /*cache_blocks=*/32);
   const std::vector<uint64_t> keys = MakeFetchKeys(batch_size);
   std::vector<double> out(batch_size);
+  IoStats io;
   for (auto _ : state) {
     if (batched) {
-      store.FetchBatch(keys, out);
+      store.FetchBatch(keys, out, &io);
     } else {
-      for (size_t i = 0; i < batch_size; ++i) out[i] = store.Fetch(keys[i]);
+      for (size_t i = 0; i < batch_size; ++i) {
+        out[i] = store.Fetch(keys[i], &io);
+      }
     }
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * batch_size);
-  state.counters["block_reads"] = static_cast<double>(store.stats().block_reads);
+  state.counters["block_reads"] = static_cast<double>(io.block_reads);
 }
 BENCHMARK(BM_BlockStoreFetch)
     ->ArgsProduct({{1, 16, 256, 4096}, {0, 1}})
@@ -306,4 +404,26 @@ BENCHMARK(BM_BlockStoreFetch)
 }  // namespace
 }  // namespace wavebatch
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a default machine-readable report: unless the caller
+// passes their own --benchmark_out, results land in BENCH_micro.json
+// (google-benchmark's JSON schema: per-benchmark name, args, real/cpu time,
+// and counters such as block_reads).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -108,6 +108,32 @@ int Main(int argc, char** argv) {
     std::cerr << "failed to write " << csv << std::endl;
     return 1;
   }
+
+  // Machine-readable companion: one record per retrieval-count row. These
+  // are I/O counts, not timings, so median_ns carries the whole-experiment
+  // wall time (same for every row).
+  const double elapsed_ns = total.ElapsedSeconds() * 1e9;
+  const std::map<std::string, std::string> common = {
+      {"queries", std::to_string(s)},
+      {"records", std::to_string(options.num_records)}};
+  BenchJson json;
+  auto add = [&](const std::string& view, const std::string& method,
+                 uint64_t retrievals) {
+    std::map<std::string, std::string> params = common;
+    params["view"] = view;
+    params["method"] = method;
+    json.Add("obs1_io_sharing", params, elapsed_ns, retrievals);
+  };
+  add("wavelet-db4", "per_query_naive", exp.list.TotalQueryCoefficients());
+  add("wavelet-db4", "batch_biggest_b_shared", exp.list.size());
+  add("prefix-sum", "per_query_naive", prefix_list->TotalQueryCoefficients());
+  add("prefix-sum", "batch_biggest_b_shared", prefix_list->size());
+  add("identity", "per_query_naive", identity_cost);
+  add("relation-scan", "baseline", options.num_records);
+  if (!json.Write(flags.Str("json", "BENCH_obs1_io_sharing.json"))) {
+    std::cerr << "failed to write json report" << std::endl;
+    return 1;
+  }
   return 0;
 }
 

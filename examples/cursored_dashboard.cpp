@@ -10,8 +10,10 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/exact.h"
-#include "core/progressive.h"
+#include <memory>
+
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
 #include "data/generators.h"
 #include "data/workloads.h"
 #include "penalty/sse.h"
@@ -26,7 +28,7 @@ struct SplitMre {
   double off_screen;
 };
 
-SplitMre Measure(const ProgressiveEvaluator& ev,
+SplitMre Measure(const EvalSession& ev,
                  const std::vector<double>& exact,
                  const std::vector<bool>& on_screen) {
   double on = 0.0, off = 0.0;
@@ -64,9 +66,19 @@ int main() {
       /*random_cuts=*/true, /*min_width=*/2, /*measure_offset=*/53.33);
 
   WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
-  auto store = strategy.BuildStore(cube);
-  MasterList list = MasterList::Build(w.batch, strategy).value();
-  std::vector<double> exact = EvaluateShared(list, *store).results;
+  std::shared_ptr<const CoefficientStore> store = strategy.BuildStore(cube);
+  auto list = std::make_shared<const MasterList>(
+      MasterList::Build(w.batch, strategy).value());
+
+  // Exact reference: one key-ordered session over a penalty-free plan.
+  std::vector<double> exact;
+  {
+    EvalSession::Options opts;
+    opts.order = ProgressionOrder::kKeyOrder;
+    EvalSession session(EvalPlan::FromMasterList(list, nullptr), store, opts);
+    session.RunToExact();
+    exact = session.Estimates();
+  }
 
   // The on-screen cursor: 24 consecutive cells (a grid-row block).
   std::vector<size_t> cursor;
@@ -75,19 +87,21 @@ int main() {
     cursor.push_back(200 + i);
     on_screen[200 + i] = true;
   }
-  SsePenalty sse;
-  WeightedSsePenalty cursored =
-      CursoredSsePenalty(w.batch.size(), cursor, /*priority_weight=*/10.0);
+  // One master list, two plans: the penalty decides the progression
+  // order, so each penalty gets its own (cheap) plan over the shared list.
+  auto sse = std::make_shared<SsePenalty>();
+  auto cursored = std::make_shared<WeightedSsePenalty>(
+      CursoredSsePenalty(w.batch.size(), cursor, /*priority_weight=*/10.0));
 
-  ProgressiveEvaluator ev_cursored(&list, &cursored, store.get());
-  ProgressiveEvaluator ev_plain(&list, &sse, store.get());
+  EvalSession ev_cursored(EvalPlan::FromMasterList(list, cursored), store);
+  EvalSession ev_plain(EvalPlan::FromMasterList(list, sse), store);
 
   std::printf("\n%-10s | %-23s | %-23s\n", "", "cursored progression",
               "plain-SSE progression");
   std::printf("%-10s | %-11s %-11s | %-11s %-11s\n", "retrieved",
               "on-screen", "off-screen", "on-screen", "off-screen");
   for (size_t budget : {64, 256, 1024, 4096, 16384}) {
-    if (budget > list.size()) break;
+    if (budget > list->size()) break;
     ev_cursored.StepMany(budget - ev_cursored.StepsTaken());
     ev_plain.StepMany(budget - ev_plain.StepsTaken());
     SplitMre c = Measure(ev_cursored, exact, on_screen);

@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <set>
 
-#include "core/exact.h"
-#include "core/progressive.h"
+#include <memory>
+
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
 #include "data/generators.h"
 #include "data/workloads.h"
 #include "penalty/laplacian.h"
@@ -78,24 +80,36 @@ int main() {
       /*random_cuts=*/true, /*min_width=*/2, /*measure_offset=*/53.33);
 
   WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
-  auto store = strategy.BuildStore(cube);
-  MasterList list = MasterList::Build(w.batch, strategy).value();
-  std::vector<double> exact = EvaluateShared(list, *store).results;
+  std::shared_ptr<const CoefficientStore> store = strategy.BuildStore(cube);
+  auto list_ptr = std::make_shared<const MasterList>(
+      MasterList::Build(w.batch, strategy).value());
+  const MasterList& list = *list_ptr;
+  std::vector<double> exact;
+  {
+    EvalSession::Options opts;
+    opts.order = ProgressionOrder::kKeyOrder;
+    EvalSession session(EvalPlan::FromMasterList(list_ptr, nullptr), store,
+                        opts);
+    session.RunToExact();
+    exact = session.Estimates();
+  }
   const std::set<size_t> truth = LocalMinima(w.partition, exact);
   std::printf("exact local minima: %zu of %zu cells\n\n", truth.size(),
               w.batch.size());
 
-  SsePenalty sse;
+  auto sse = std::make_shared<SsePenalty>();
   LaplacianPenalty laplacian = LaplacianPenalty::ForGrid(w.partition);
   // The paper suggests mixing penalties; anchoring the Laplacian with a
   // little SSE keeps absolute magnitudes honest while still prioritizing
   // extremum structure.
-  CompositeQuadraticPenalty mixed;
-  mixed.AddTerm(1.0, &laplacian);
-  mixed.AddTerm(1.0, &sse);
+  auto mixed = std::make_shared<CompositeQuadraticPenalty>();
+  mixed->AddTerm(1.0, &laplacian);
+  mixed->AddTerm(1.0, sse.get());
 
-  ProgressiveEvaluator ev_sse(&list, &sse, store.get());
-  ProgressiveEvaluator ev_mix(&list, &mixed, store.get());
+  // One shared master list, one plan per penalty (the penalty decides the
+  // progression order), one session per plan.
+  EvalSession ev_sse(EvalPlan::FromMasterList(list_ptr, sse), store);
+  EvalSession ev_mix(EvalPlan::FromMasterList(list_ptr, mixed), store);
   // Remaining guaranteed Laplacian risk (Theorem 2's expected penalty, up
   // to the 1/N^d factor) of each progression's unused coefficient set.
   std::vector<bool> used_sse(list.size(), false);

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
-#include "core/exact.h"
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
 #include "data/generators.h"
 #include "data/workloads.h"
 #include "query/derived.h"
@@ -19,9 +21,12 @@ using namespace wavebatch;
 namespace {
 
 // Evaluates AVERAGE(temp) over each range and returns (index, average) of
-// the hottest cell, printing a small report.
+// the hottest cell, printing a small report. Each round is one exact
+// key-ordered session; the session's own IoStats reports exactly this
+// round's retrievals (the shared store keeps no counters).
 size_t HottestCell(const std::vector<Range>& cells,
-                   const WaveletStrategy& strategy, CoefficientStore& store,
+                   const WaveletStrategy& strategy,
+                   const std::shared_ptr<const CoefficientStore>& store,
                    const char* title) {
   QueryBatch batch(strategy.schema());
   std::vector<AverageHandle> handles;
@@ -29,14 +34,17 @@ size_t HottestCell(const std::vector<Range>& cells,
   for (const Range& cell : cells) {
     handles.push_back(PlanAverage(batch, cell, kTemp));
   }
-  const uint64_t before = store.stats().retrievals;
-  MasterList list = MasterList::Build(batch, strategy).value();
-  ExactBatchResult res = EvaluateShared(list, store);
+  std::shared_ptr<const EvalPlan> plan =
+      EvalPlan::Build(batch, strategy, /*penalty=*/nullptr).value();
+  EvalSession::Options opts;
+  opts.order = ProgressionOrder::kKeyOrder;
+  EvalSession session(plan, store, opts);
+  session.RunToExact();
 
   size_t best = 0;
   double best_avg = -1.0;
   for (size_t i = 0; i < cells.size(); ++i) {
-    const double avg = FinishAverage(handles[i], res.results);
+    const double avg = FinishAverage(handles[i], session.Estimates());
     if (avg > best_avg) {
       best_avg = avg;
       best = i;
@@ -45,10 +53,9 @@ size_t HottestCell(const std::vector<Range>& cells,
   std::printf("%s: %zu cells, %llu retrievals (%llu would be needed "
               "without sharing)\n",
               title, cells.size(),
-              static_cast<unsigned long long>(store.stats().retrievals -
-                                              before),
+              static_cast<unsigned long long>(session.io().retrievals),
               static_cast<unsigned long long>(
-                  list.TotalQueryCoefficients()));
+                  plan->list().TotalQueryCoefficients()));
   std::printf("  hottest cell: %s  avg temp bin %.2f\n",
               cells[best].ToString().c_str(), best_avg);
   return best;
@@ -71,20 +78,20 @@ int main() {
   DenseCube cube = MakeTemperatureCube(options);
 
   WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
-  std::unique_ptr<CoefficientStore> store = strategy.BuildStore(cube);
+  std::shared_ptr<const CoefficientStore> store = strategy.BuildStore(cube);
 
   // Round 1: a coarse 4x4 lat-lon synopsis of the whole globe.
   const std::vector<size_t> coarse_parts = {4, 4, 1, 1, 1};
   GridPartition coarse = GridPartition::Uniform(
       cube.schema(), Range::All(cube.schema()), coarse_parts);
-  size_t hot = HottestCell(coarse.cells(), strategy, *store,
+  size_t hot = HottestCell(coarse.cells(), strategy, store,
                            "round 1 (coarse synopsis)");
 
   // Round 2: drill down into the hottest coarse cell with a finer grid.
   const std::vector<size_t> fine_parts = {4, 4, 1, 1, 1};
   GridPartition fine = GridPartition::Uniform(
       cube.schema(), coarse.cell(hot), fine_parts);
-  hot = HottestCell(fine.cells(), strategy, *store,
+  hot = HottestCell(fine.cells(), strategy, store,
                     "round 2 (drill-down)");
 
   // Round 3: once more, down to a small box.
@@ -97,6 +104,6 @@ int main() {
   }
   GridPartition leaf =
       GridPartition::Uniform(cube.schema(), target, final_parts);
-  HottestCell(leaf.cells(), strategy, *store, "round 3 (leaf)");
+  HottestCell(leaf.cells(), strategy, store, "round 3 (leaf)");
   return 0;
 }

@@ -8,7 +8,7 @@ namespace wavebatch {
 
 BlockProgressiveEvaluator::BlockProgressiveEvaluator(
     const MasterList* list, const PenaltyFunction* penalty,
-    CoefficientStore* store,
+    const CoefficientStore* store,
     const std::function<uint64_t(uint64_t)>& block_of)
     : list_(list), store_(store) {
   WB_CHECK(list_ != nullptr);
@@ -50,7 +50,7 @@ size_t BlockProgressiveEvaluator::StepBlock() {
     keys.push_back(list_->entry(entry_idx).key);
   }
   std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values);
+  store_->FetchBatch(keys, values, &io_);
   coefficients_fetched_ += block.entries.size();
   for (size_t i = 0; i < block.entries.size(); ++i) {
     if (values[i] == 0.0) continue;

@@ -27,7 +27,7 @@ class BlockProgressiveEvaluator {
   /// layout, or key/block_size for an array layout).
   BlockProgressiveEvaluator(const MasterList* list,
                             const PenaltyFunction* penalty,
-                            CoefficientStore* store,
+                            const CoefficientStore* store,
                             const std::function<uint64_t(uint64_t)>& block_of);
 
   size_t TotalBlocks() const { return blocks_.size(); }
@@ -48,6 +48,10 @@ class BlockProgressiveEvaluator {
   /// Total importance of the next block to be fetched (0 when done).
   double NextBlockImportance() const;
 
+  /// I/O charged by this evaluator's own fetches (includes block_reads /
+  /// block_hits when the store is a BlockStore).
+  const IoStats& io() const { return io_; }
+
  private:
   struct Block {
     uint64_t id;
@@ -56,7 +60,8 @@ class BlockProgressiveEvaluator {
   };
 
   const MasterList* list_;
-  CoefficientStore* store_;
+  const CoefficientStore* store_;
+  IoStats io_;
   std::vector<Block> blocks_;
   std::vector<double> estimates_;
   uint64_t blocks_fetched_ = 0;

@@ -9,7 +9,7 @@ namespace wavebatch {
 
 BoundedWorkspaceResult EvaluateWithBoundedWorkspace(
     const QueryBatch& batch, const LinearStrategy& strategy,
-    CoefficientStore& store, uint64_t max_workspace_coefficients) {
+    const CoefficientStore& store, uint64_t max_workspace_coefficients) {
   WB_CHECK_GT(max_workspace_coefficients, 0u);
   BoundedWorkspaceResult out;
   out.results.resize(batch.size(), 0.0);

@@ -36,9 +36,12 @@ struct BoundedWorkspaceResult {
 /// unbounded budget reproduces EvaluateShared exactly, a budget of one
 /// query reproduces EvaluateNaive. bench_ablation_workspace maps the
 /// trade-off curve.
+///
+/// Superseded by engine::RunWithBoundedWorkspace; kept as the golden
+/// reference implementation.
 BoundedWorkspaceResult EvaluateWithBoundedWorkspace(
     const QueryBatch& batch, const LinearStrategy& strategy,
-    CoefficientStore& store, uint64_t max_workspace_coefficients);
+    const CoefficientStore& store, uint64_t max_workspace_coefficients);
 
 }  // namespace wavebatch
 

@@ -14,10 +14,10 @@ constexpr size_t kFetchChunk = 4096;
 
 ExactBatchResult EvaluateNaive(
     const std::vector<SparseVec>& query_coefficients,
-    CoefficientStore& store) {
+    const CoefficientStore& store) {
   ExactBatchResult out;
   out.results.resize(query_coefficients.size(), 0.0);
-  const uint64_t before = store.stats().retrievals;
+  IoStats io;
   std::vector<uint64_t> keys;
   std::vector<double> values;
   for (size_t qi = 0; qi < query_coefficients.size(); ++qi) {
@@ -28,22 +28,22 @@ ExactBatchResult EvaluateNaive(
       keys.clear();
       for (size_t i = begin; i < end; ++i) keys.push_back(coeffs[i].key);
       values.assign(keys.size(), 0.0);
-      store.FetchBatch(keys, values);
+      store.FetchBatch(keys, values, &io);
       for (size_t i = begin; i < end; ++i) {
         acc += coeffs[i].value * values[i - begin];
       }
     }
     out.results[qi] = acc;
   }
-  out.retrievals = store.stats().retrievals - before;
+  out.retrievals = io.retrievals;
   return out;
 }
 
 ExactBatchResult EvaluateShared(const MasterList& list,
-                                CoefficientStore& store) {
+                                const CoefficientStore& store) {
   ExactBatchResult out;
   out.results.resize(list.num_queries(), 0.0);
-  const uint64_t before = store.stats().retrievals;
+  IoStats io;
   const std::vector<MasterEntry>& entries = list.entries();
   std::vector<uint64_t> keys;
   std::vector<double> values;
@@ -52,7 +52,7 @@ ExactBatchResult EvaluateShared(const MasterList& list,
     keys.clear();
     for (size_t i = begin; i < end; ++i) keys.push_back(entries[i].key);
     values.assign(keys.size(), 0.0);
-    store.FetchBatch(keys, values);
+    store.FetchBatch(keys, values, &io);
     // Entry order, like the scalar loop: identical accumulation sequence.
     for (size_t i = begin; i < end; ++i) {
       const double data = values[i - begin];
@@ -62,7 +62,7 @@ ExactBatchResult EvaluateShared(const MasterList& list,
       }
     }
   }
-  out.retrievals = store.stats().retrievals - before;
+  out.retrievals = io.retrievals;
   return out;
 }
 

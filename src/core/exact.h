@@ -21,13 +21,15 @@ struct ExactBatchResult {
 /// k times.
 ExactBatchResult EvaluateNaive(
     const std::vector<SparseVec>& query_coefficients,
-    CoefficientStore& store);
+    const CoefficientStore& store);
 
 /// The I/O-shared exact algorithm (Batch-Biggest-B run to completion in
 /// arbitrary order): iterates the master list, fetching each needed
 /// coefficient exactly once and advancing every query that uses it.
+/// Superseded by EvalSession{kKeyOrder}.RunToExact() in engine/; kept as
+/// the golden reference implementation.
 ExactBatchResult EvaluateShared(const MasterList& list,
-                                CoefficientStore& store);
+                                const CoefficientStore& store);
 
 }  // namespace wavebatch
 

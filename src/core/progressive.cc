@@ -10,7 +10,7 @@ namespace wavebatch {
 
 ProgressiveEvaluator::ProgressiveEvaluator(const MasterList* list,
                                            const PenaltyFunction* penalty,
-                                           CoefficientStore* store,
+                                           const CoefficientStore* store,
                                            ProgressionOrder order,
                                            uint64_t seed)
     : list_(list), penalty_(penalty), store_(store), order_(order) {
@@ -121,7 +121,7 @@ size_t ProgressiveEvaluator::Step() {
   WB_CHECK(!Done()) << "Step() after completion";
   const size_t entry_idx = PopNext();
   const MasterEntry& e = list_->entry(entry_idx);
-  const double data = store_->Fetch(e.key);
+  const double data = store_->Fetch(e.key, &io_);
   if (data != 0.0) {
     for (const auto& [query, coeff] : e.uses) {
       estimates_[query] += coeff * data;
@@ -147,7 +147,7 @@ size_t ProgressiveEvaluator::StepBatch(size_t n) {
     keys.push_back(list_->entry(entry_idx).key);
   }
   std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values);
+  store_->FetchBatch(keys, values, &io_);
   // Apply in pop order: the identical floating-point accumulation sequence
   // a scalar Step() loop would produce.
   for (size_t i = 0; i < popped.size(); ++i) {

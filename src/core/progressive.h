@@ -34,12 +34,17 @@ enum class ProgressionOrder {
 /// important unretrieved coefficient, fetch it, and advance the estimate
 /// of every query that uses it. After the final step the estimates hold
 /// the exact results.
+///
+/// Superseded by the engine layer (EvalPlan + EvalSession), which separates
+/// the shareable importance/order computation from the per-run cursor and
+/// owns its inputs via shared_ptr. Kept as the golden reference
+/// implementation the engine is tested bit-identical against.
 class ProgressiveEvaluator {
  public:
   /// `list`, `penalty`, and `store` must outlive the evaluator. `seed`
   /// only affects kRandom.
   ProgressiveEvaluator(const MasterList* list, const PenaltyFunction* penalty,
-                       CoefficientStore* store,
+                       const CoefficientStore* store,
                        ProgressionOrder order = ProgressionOrder::kBiggestB,
                        uint64_t seed = 0);
 
@@ -95,6 +100,10 @@ class ProgressiveEvaluator {
   /// Importance of master-list entry `i` under the evaluator's penalty.
   double ImportanceOf(size_t i) const { return importance_[i]; }
 
+  /// I/O charged by this evaluator's own fetches (the store itself keeps
+  /// no counters).
+  const IoStats& io() const { return io_; }
+
  private:
   void BuildOrder(ProgressionOrder order, uint64_t seed);
   size_t NextEntry() const;  // entry the next Step() will take
@@ -102,8 +111,9 @@ class ProgressiveEvaluator {
 
   const MasterList* list_;
   const PenaltyFunction* penalty_;
-  CoefficientStore* store_;
+  const CoefficientStore* store_;
   ProgressionOrder order_;
+  IoStats io_;
 
   std::vector<double> importance_;  // per master-list entry
   std::vector<double> estimates_;

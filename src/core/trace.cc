@@ -1,86 +1,6 @@
 #include "core/trace.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "util/check.h"
-
 namespace wavebatch {
-
-namespace {
-
-// Records one checkpoint.
-ProgressionTrace::Point MeasurePoint(
-    const ProgressiveEvaluator& evaluator, std::span<const double> exact,
-    const std::vector<ProgressionTrace::Measure>& measures, double k_sum_abs,
-    uint64_t domain_cells) {
-  ProgressionTrace::Point pt;
-  pt.retrieved = evaluator.StepsTaken();
-  const std::vector<double>& est = evaluator.Estimates();
-  WB_CHECK_EQ(est.size(), exact.size());
-  std::vector<double> error(est.size());
-  for (size_t i = 0; i < est.size(); ++i) error[i] = est[i] - exact[i];
-
-  pt.penalties.reserve(measures.size());
-  for (const ProgressionTrace::Measure& m : measures) {
-    pt.penalties.push_back(m.penalty->Apply(error) / m.normalizer);
-  }
-
-  double sum_rel = 0.0, max_rel = 0.0;
-  size_t counted = 0;
-  for (size_t i = 0; i < est.size(); ++i) {
-    if (exact[i] == 0.0) continue;
-    const double rel = std::abs(error[i]) / std::abs(exact[i]);
-    sum_rel += rel;
-    max_rel = std::max(max_rel, rel);
-    ++counted;
-  }
-  pt.mean_relative_error = counted ? sum_rel / counted : 0.0;
-  pt.max_relative_error = max_rel;
-  pt.worst_case_bound =
-      k_sum_abs > 0.0 ? evaluator.WorstCaseBound(k_sum_abs) : 0.0;
-  pt.expected_penalty =
-      domain_cells > 0 ? evaluator.ExpectedPenalty(domain_cells) : 0.0;
-  return pt;
-}
-
-}  // namespace
-
-ProgressionTrace ProgressionTrace::Run(ProgressiveEvaluator& evaluator,
-                                       std::span<const double> exact,
-                                       std::vector<Measure> measures,
-                                       uint64_t dense_until, double growth,
-                                       double k_sum_abs,
-                                       uint64_t domain_cells) {
-  WB_CHECK_GT(growth, 1.0);
-  ProgressionTrace trace;
-  trace.has_bounds_ = k_sum_abs > 0.0;
-  trace.has_expected_ = domain_cells > 0;
-  for (const Measure& m : measures) {
-    WB_CHECK(m.penalty != nullptr);
-    WB_CHECK_NE(m.normalizer, 0.0);
-    trace.measure_names_.push_back(m.name);
-  }
-
-  uint64_t next_checkpoint = 0;  // record the zero-retrievals point too
-  while (true) {
-    if (evaluator.StepsTaken() >= next_checkpoint || evaluator.Done()) {
-      trace.points_.push_back(MeasurePoint(evaluator, exact, measures,
-                                           k_sum_abs, domain_cells));
-      if (evaluator.Done()) break;
-      const uint64_t taken = evaluator.StepsTaken();
-      if (taken < dense_until) {
-        next_checkpoint = taken + 1;
-      } else {
-        next_checkpoint = std::max<uint64_t>(
-            taken + 1, static_cast<uint64_t>(
-                           std::ceil(static_cast<double>(taken) * growth)));
-      }
-    }
-    evaluator.Step();
-  }
-  return trace;
-}
 
 Table ProgressionTrace::ToTable() const {
   std::vector<std::string> headers = {"retrieved"};

@@ -1,11 +1,14 @@
 #ifndef WAVEBATCH_CORE_TRACE_H_
 #define WAVEBATCH_CORE_TRACE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/progressive.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace wavebatch {
@@ -46,12 +49,46 @@ class ProgressionTrace {
   /// skipped by the relative-error metrics. If `k_sum_abs` > 0 the
   /// Theorem 1 bound column is filled; if `domain_cells` > 0 the Theorem 2
   /// column is filled.
-  static ProgressionTrace Run(ProgressiveEvaluator& evaluator,
+  ///
+  /// `Evaluator` is anything with the progressive-cursor shape —
+  /// StepsTaken/Done/Estimates/Step/WorstCaseBound/ExpectedPenalty — i.e.
+  /// the legacy ProgressiveEvaluator or an engine EvalSession.
+  template <typename Evaluator>
+  static ProgressionTrace Run(Evaluator& evaluator,
                               std::span<const double> exact,
                               std::vector<Measure> measures,
                               uint64_t dense_until = 64,
                               double growth = 1.15, double k_sum_abs = 0.0,
-                              uint64_t domain_cells = 0);
+                              uint64_t domain_cells = 0) {
+    WB_CHECK_GT(growth, 1.0);
+    ProgressionTrace trace;
+    trace.has_bounds_ = k_sum_abs > 0.0;
+    trace.has_expected_ = domain_cells > 0;
+    for (const Measure& m : measures) {
+      WB_CHECK(m.penalty != nullptr);
+      WB_CHECK_NE(m.normalizer, 0.0);
+      trace.measure_names_.push_back(m.name);
+    }
+
+    uint64_t next_checkpoint = 0;  // record the zero-retrievals point too
+    while (true) {
+      if (evaluator.StepsTaken() >= next_checkpoint || evaluator.Done()) {
+        trace.points_.push_back(MeasurePoint(evaluator, exact, measures,
+                                             k_sum_abs, domain_cells));
+        if (evaluator.Done()) break;
+        const uint64_t taken = evaluator.StepsTaken();
+        if (taken < dense_until) {
+          next_checkpoint = taken + 1;
+        } else {
+          next_checkpoint = std::max<uint64_t>(
+              taken + 1, static_cast<uint64_t>(
+                             std::ceil(static_cast<double>(taken) * growth)));
+        }
+      }
+      evaluator.Step();
+    }
+    return trace;
+  }
 
   const std::vector<Point>& points() const { return points_; }
   const std::vector<std::string>& measure_names() const {
@@ -63,6 +100,41 @@ class ProgressionTrace {
   Table ToTable() const;
 
  private:
+  template <typename Evaluator>
+  static Point MeasurePoint(const Evaluator& evaluator,
+                            std::span<const double> exact,
+                            const std::vector<Measure>& measures,
+                            double k_sum_abs, uint64_t domain_cells) {
+    Point pt;
+    pt.retrieved = evaluator.StepsTaken();
+    const std::vector<double>& est = evaluator.Estimates();
+    WB_CHECK_EQ(est.size(), exact.size());
+    std::vector<double> error(est.size());
+    for (size_t i = 0; i < est.size(); ++i) error[i] = est[i] - exact[i];
+
+    pt.penalties.reserve(measures.size());
+    for (const Measure& m : measures) {
+      pt.penalties.push_back(m.penalty->Apply(error) / m.normalizer);
+    }
+
+    double sum_rel = 0.0, max_rel = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < est.size(); ++i) {
+      if (exact[i] == 0.0) continue;
+      const double rel = std::abs(error[i]) / std::abs(exact[i]);
+      sum_rel += rel;
+      max_rel = std::max(max_rel, rel);
+      ++counted;
+    }
+    pt.mean_relative_error = counted ? sum_rel / counted : 0.0;
+    pt.max_relative_error = max_rel;
+    pt.worst_case_bound =
+        k_sum_abs > 0.0 ? evaluator.WorstCaseBound(k_sum_abs) : 0.0;
+    pt.expected_penalty =
+        domain_cells > 0 ? evaluator.ExpectedPenalty(domain_cells) : 0.0;
+    return pt;
+  }
+
   std::vector<std::string> measure_names_;
   std::vector<Point> points_;
   bool has_bounds_ = false;

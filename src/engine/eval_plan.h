@@ -1,0 +1,93 @@
+#ifndef WAVEBATCH_ENGINE_EVAL_PLAN_H_
+#define WAVEBATCH_ENGINE_EVAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/master_list.h"
+#include "core/progressive.h"
+#include "penalty/penalty.h"
+#include "query/batch.h"
+#include "strategy/linear_strategy.h"
+#include "util/status.h"
+
+namespace wavebatch {
+
+/// The immutable, shareable half of a progressive batch evaluation: master
+/// list, per-entry importances ι_p(ξ), and the consumption permutation of
+/// every deterministic ProgressionOrder, computed once. Plans carry no
+/// cursor and touch no store, so one plan can back any number of
+/// EvalSessions — sequentially (a dashboard re-running the same batch) or
+/// concurrently (sessions on different threads over one shared store) —
+/// and can be cached across identical batches (PlanCache).
+///
+/// Plans own their inputs via shared_ptr: a session holding the plan keeps
+/// the master list and penalty alive, closing the raw-pointer lifetime trap
+/// of the legacy ProgressiveEvaluator ("list/penalty/store must outlive the
+/// evaluator").
+class EvalPlan {
+ public:
+  /// Rewrites `batch` under `strategy` (MasterList::Build) and plans it.
+  /// `penalty` may be null for exact-only plans (kKeyOrder / kRoundRobin
+  /// progressions and RunToExact work; importance-based order and bounds
+  /// do not).
+  static Result<std::shared_ptr<const EvalPlan>> Build(
+      const QueryBatch& batch, const LinearStrategy& strategy,
+      std::shared_ptr<const PenaltyFunction> penalty);
+
+  /// Plans an already-merged master list.
+  static std::shared_ptr<const EvalPlan> FromMasterList(
+      std::shared_ptr<const MasterList> list,
+      std::shared_ptr<const PenaltyFunction> penalty);
+
+  const MasterList& list() const { return *list_; }
+  std::shared_ptr<const MasterList> shared_list() const { return list_; }
+  /// Null for exact-only plans.
+  const PenaltyFunction* penalty() const { return penalty_.get(); }
+
+  size_t num_queries() const { return list_->num_queries(); }
+  /// Steps to exactness (= master list size).
+  size_t size() const { return list_->size(); }
+
+  bool HasImportance() const { return penalty_ != nullptr; }
+  /// ι_p of master-list entry `i`. Requires HasImportance().
+  double importance(size_t i) const { return importance_[i]; }
+  /// Σ_ξ ι_p(ξ) over the whole master list — a fresh session's remaining
+  /// importance. Requires HasImportance().
+  double total_importance() const { return total_importance_; }
+
+  /// The order in which a session under `order` consumes master-list entry
+  /// indices. Precomputed for kBiggestB (requires HasImportance()),
+  /// kRoundRobin, and kKeyOrder; kRandom depends on a seed — use
+  /// RandomPermutation.
+  std::span<const size_t> Permutation(ProgressionOrder order) const;
+
+  /// The kRandom consumption order for `seed` (identity permutation through
+  /// a seeded Fisher–Yates, matching the legacy evaluator step for step).
+  std::vector<size_t> RandomPermutation(uint64_t seed) const;
+
+ private:
+  EvalPlan(std::shared_ptr<const MasterList> list,
+           std::shared_ptr<const PenaltyFunction> penalty);
+
+  std::shared_ptr<const MasterList> list_;
+  std::shared_ptr<const PenaltyFunction> penalty_;
+
+  std::vector<double> importance_;  // empty when penalty_ is null
+  double total_importance_ = 0.0;
+
+  // Entry indices in consumption order. biggest_b_ is the descending
+  // (importance, index) order a max-heap pops; round_robin_ is the
+  // per-query |coefficient|-descending round-robin with duplicate entries
+  // collapsed onto their first appearance; key_order_ is the identity
+  // (master lists are ascending by key).
+  std::vector<size_t> biggest_b_;
+  std::vector<size_t> round_robin_;
+  std::vector<size_t> key_order_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_ENGINE_EVAL_PLAN_H_

@@ -1,0 +1,144 @@
+#ifndef WAVEBATCH_ENGINE_EVAL_SESSION_H_
+#define WAVEBATCH_ENGINE_EVAL_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/eval_plan.h"
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Wraps a store the caller owns (and guarantees outlives the session) in a
+/// non-owning shared_ptr, for stack-allocated stores in tests and tools.
+/// Heap-built stores (LinearStrategy::BuildStore) convert to an owning
+/// shared_ptr directly — prefer that.
+std::shared_ptr<const CoefficientStore> UnownedStore(
+    const CoefficientStore& store);
+
+/// The mutable half of a progressive batch evaluation: a cheap cursor over
+/// an EvalPlan. One session = one progressive run — estimates, bound
+/// trackers, step cursor, and its own I/O accounting. Sessions share
+/// nothing mutable, so any number may run concurrently over one plan and
+/// one store (store reads are const and thread-safe; see
+/// CoefficientStore).
+///
+/// Every evaluation mode of the library is a session configuration:
+///   exact shared       — {kKeyOrder} + RunToExact()
+///   progressive        — {kBiggestB} + Step()/StepBatch() to taste
+///   ablation orders    — {kRoundRobin / kRandom / kKeyOrder}
+///   block-granularity  — Options::block_of set + StepBlock()
+///   bounded workspace  — engine/bounded.h groups queries into sessions
+/// All of them reproduce the legacy core/ evaluators bit for bit
+/// (estimates, bounds, and retrieval counts) — enforced by engine_test.
+struct EvalSessionOptions {
+  ProgressionOrder order = ProgressionOrder::kBiggestB;
+  /// Only read under kRandom.
+  uint64_t seed = 0;
+  /// When set, the session progresses at block granularity: entries are
+  /// grouped by block_of(key), a block's importance is the sum of its
+  /// members', and each StepBlock fetches one whole block. `order` is
+  /// ignored (blocks always go by decreasing total importance).
+  std::function<uint64_t(uint64_t)> block_of;
+  /// FetchBatch chunk used by RunToExact.
+  size_t run_chunk = 4096;
+};
+
+class EvalSession {
+ public:
+  using Options = EvalSessionOptions;
+
+  /// The session keeps `plan` and `store` alive; it may safely outlive the
+  /// scope that created it.
+  EvalSession(std::shared_ptr<const EvalPlan> plan,
+              std::shared_ptr<const CoefficientStore> store,
+              Options options = Options());
+
+  const EvalPlan& plan() const { return *plan_; }
+  size_t num_queries() const { return plan_->num_queries(); }
+  /// Total steps to exactness (= master list size).
+  size_t TotalSteps() const { return plan_->size(); }
+  uint64_t StepsTaken() const { return steps_taken_; }
+  bool Done() const;
+
+  /// One retrieval; requires !Done() and coefficient granularity. Returns
+  /// the master-list entry index consumed.
+  size_t Step();
+
+  /// Up to `n` further retrievals, one storage round-trip each.
+  void StepMany(size_t n);
+
+  /// Up to `n` further retrievals issued as ONE FetchBatch; estimates,
+  /// trackers, and counts identical to `n` scalar Step() calls. Returns
+  /// the number of steps taken.
+  size_t StepBatch(size_t n);
+
+  /// Runs to completion (chunked by Options::run_chunk at coefficient
+  /// granularity; block by block at block granularity). Estimates are
+  /// exact afterwards.
+  void RunToExact();
+
+  /// Block granularity only: fetches the most important unfetched block,
+  /// returns the number of coefficients it contributed. Requires !Done().
+  size_t StepBlock();
+  /// Fetches blocks until `n` blocks have been consumed in total.
+  void StepToBlocks(uint64_t n);
+  size_t TotalBlocks() const { return blocks_.size(); }
+  uint64_t BlocksFetched() const { return blocks_fetched_; }
+  uint64_t CoefficientsFetched() const { return coefficients_fetched_; }
+  /// Total importance of the next block (0 when done).
+  double NextBlockImportance() const;
+
+  /// Current progressive estimates (exact once Done()).
+  const std::vector<double>& Estimates() const { return estimates_; }
+
+  /// ι_p of the coefficient the next Step() retrieves (0 when done).
+  /// Requires a plan with importances.
+  double NextImportance() const;
+
+  /// Theorem 1's worst-case penalty bound K^α·ι_p(ξ′) for the current
+  /// approximation; `k_sum_abs` is the store's SumAbs. Sharp under
+  /// kBiggestB.
+  double WorstCaseBound(double k_sum_abs) const;
+
+  /// Theorem 2's expected penalty Σ_{unused ξ} ι_p(ξ) / `domain_cells`.
+  double ExpectedPenalty(uint64_t domain_cells) const;
+
+  /// I/O charged by this session's fetches alone — per-session accounting;
+  /// the shared store keeps no counters.
+  const IoStats& io() const { return io_; }
+
+ private:
+  void ApplyEntry(size_t entry_idx, double data);
+
+  std::shared_ptr<const EvalPlan> plan_;
+  std::shared_ptr<const CoefficientStore> store_;
+  Options options_;
+
+  // Coefficient granularity: consumption order (either a view into the
+  // plan's precomputed permutation or this session's seeded random one).
+  std::vector<size_t> owned_permutation_;   // kRandom only
+  std::span<const size_t> permutation_;
+
+  // Block granularity.
+  struct Block {
+    uint64_t id;
+    double importance = 0.0;
+    std::vector<size_t> entries;  // master-list entry indices
+  };
+  std::vector<Block> blocks_;       // heap-ordered consumption via block_order_
+  std::vector<size_t> block_order_;  // block indices, descending importance
+  uint64_t blocks_fetched_ = 0;
+  uint64_t coefficients_fetched_ = 0;
+
+  std::vector<double> estimates_;
+  uint64_t steps_taken_ = 0;
+  double remaining_importance_ = 0.0;
+  IoStats io_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_ENGINE_EVAL_SESSION_H_

@@ -1,0 +1,124 @@
+#include "engine/plan_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+namespace {
+
+void AppendU64(std::string& s, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  s.append(buf, sizeof(v));
+}
+
+void AppendF64(std::string& s, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(s, bits);
+}
+
+}  // namespace
+
+std::string PlanCache::Fingerprint(const QueryBatch& batch,
+                                   const LinearStrategy& strategy,
+                                   const PenaltyFunction* penalty) {
+  std::string key;
+  key += strategy.name();
+  key += '\0';
+  AppendU64(key, reinterpret_cast<uintptr_t>(penalty));
+  const Schema& schema = batch.schema();
+  AppendU64(key, schema.num_dims());
+  for (const Dimension& d : schema.dims()) {
+    key += d.name;
+    key += '\0';
+    AppendU64(key, d.size);
+  }
+  AppendU64(key, batch.size());
+  for (const RangeSumQuery& q : batch.queries()) {
+    for (const Interval& iv : q.range().intervals()) {
+      AppendU64(key, (static_cast<uint64_t>(iv.lo) << 32) | iv.hi);
+    }
+    AppendU64(key, q.poly().terms().size());
+    for (const Monomial& m : q.poly().terms()) {
+      AppendF64(key, m.coeff);
+      for (uint32_t e : m.exponents) AppendU64(key, e);
+    }
+  }
+  return key;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  WB_CHECK_GT(capacity_, 0u);
+}
+
+Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
+    const QueryBatch& batch, const LinearStrategy& strategy,
+    std::shared_ptr<const PenaltyFunction> penalty) {
+  const std::string key = Fingerprint(batch, strategy, penalty.get());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+  // Build outside the lock: planning can be expensive and must not block
+  // concurrent hits. Two threads missing the same key both build; the
+  // second insert wins, which is harmless (plans are immutable and equal).
+  Result<std::shared_ptr<const EvalPlan>> plan =
+      EvalPlan::Build(batch, strategy, std::move(penalty));
+  if (!plan.ok()) return plan.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = plan.value();
+    } else {
+      lru_.emplace_front(key, plan.value());
+      by_key_[key] = lru_.begin();
+      if (lru_.size() > capacity_) {
+        by_key_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  return plan;
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PlanCache& PlanCache::Shared() {
+  static PlanCache* cache = new PlanCache(64);
+  return *cache;
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,65 @@
+#ifndef WAVEBATCH_ENGINE_PLAN_CACHE_H_
+#define WAVEBATCH_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/eval_plan.h"
+
+namespace wavebatch {
+
+/// An LRU cache of EvalPlans keyed by (batch shape, strategy, penalty).
+/// Planning cost — query rewriting, master-list merge, importance pass,
+/// permutation sorts — is paid once per distinct batch; a dashboard
+/// re-issuing the same batch every refresh gets its plan back in a hash
+/// lookup (bench_micro measures the gap).
+///
+/// The penalty participates in the key by object identity, not name:
+/// two parameterized penalties can share a name while ranking coefficients
+/// differently, and identity is the only equality the PenaltyFunction
+/// interface guarantees. Cache with long-lived penalty objects.
+///
+/// Thread-safe; plans are immutable so a cached hit may be shared across
+/// concurrent sessions freely.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 64);
+
+  /// Returns the cached plan for this (batch, strategy, penalty) or builds,
+  /// caches, and returns a fresh one. Build failures are not cached.
+  Result<std::shared_ptr<const EvalPlan>> GetOrBuild(
+      const QueryBatch& batch, const LinearStrategy& strategy,
+      std::shared_ptr<const PenaltyFunction> penalty);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  void Clear();
+
+  /// Process-wide cache for callers without their own.
+  static PlanCache& Shared();
+
+  /// The cache key: a byte-exact fingerprint of the batch's schema, every
+  /// query's intervals and monomials, the strategy name, and the penalty's
+  /// address. Exposed for tests.
+  static std::string Fingerprint(const QueryBatch& batch,
+                                 const LinearStrategy& strategy,
+                                 const PenaltyFunction* penalty);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // LRU: most recent at front.
+  std::list<std::pair<std::string, std::shared_ptr<const EvalPlan>>> lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> by_key_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_ENGINE_PLAN_CACHE_H_

@@ -17,7 +17,7 @@ BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
 
 double BlockStore::Peek(uint64_t key) const { return inner_->Peek(key); }
 
-bool BlockStore::Touch(uint64_t block) {
+bool BlockStore::TouchLocked(uint64_t block) const {
   auto it = in_cache_.find(block);
   if (it != in_cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -34,28 +34,35 @@ bool BlockStore::Touch(uint64_t block) {
   return false;
 }
 
-double BlockStore::DoFetch(uint64_t key) {
-  if (Touch(key / block_size_)) {
-    ++stats_.block_hits;
-  } else {
-    ++stats_.block_reads;
+double BlockStore::DoFetch(uint64_t key, IoStats* io) const {
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    if (TouchLocked(key / block_size_)) {
+      if (io != nullptr) ++io->block_hits;
+    } else {
+      if (io != nullptr) ++io->block_reads;
+    }
   }
   return inner_->Peek(key);
 }
 
 void BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
-                              std::span<double> out) {
+                              std::span<double> out, IoStats* io) const {
   // Touch each distinct block once, in first-appearance order (so the LRU
-  // state after the call matches a scalar loop's up to refresh order).
+  // state after the call matches a scalar loop's up to refresh order). One
+  // lock acquisition per batch, not per key.
   std::unordered_set<uint64_t> seen;
   seen.reserve(keys.size());
-  for (uint64_t key : keys) {
-    const uint64_t block = key / block_size_;
-    if (!seen.insert(block).second) continue;
-    if (Touch(block)) {
-      ++stats_.block_hits;
-    } else {
-      ++stats_.block_reads;
+  {
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    for (uint64_t key : keys) {
+      const uint64_t block = key / block_size_;
+      if (!seen.insert(block).second) continue;
+      if (TouchLocked(block)) {
+        if (io != nullptr) ++io->block_hits;
+      } else {
+        if (io != nullptr) ++io->block_reads;
+      }
     }
   }
   for (size_t i = 0; i < keys.size(); ++i) out[i] = inner_->Peek(keys[i]);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/coefficient_store.h"
@@ -16,9 +17,14 @@ namespace wavebatch {
 /// with the same `key / block_size` live on one simulated disk block; a
 /// fetch whose block is not in the LRU buffer costs one block read.
 ///
-/// stats().retrievals counts coefficient fetches (comparable to the paper's
-/// metric); stats().block_reads / block_hits expose the block-level cost,
-/// which bench_ablation_blocks sweeps against block size and key layout.
+/// Per-call IoStats sinks receive both the coefficient retrievals and the
+/// block-level counters (block_reads / block_hits), which
+/// bench_ablation_blocks sweeps against block size and key layout. The LRU
+/// buffer is shared store state (like a real buffer pool) guarded by a
+/// mutex, so concurrent readers are safe; with multiple concurrent sessions
+/// the hit/miss split of an individual session depends on interleaving —
+/// run with cache_blocks = 0 (unbuffered) when per-session block counts
+/// must be deterministic.
 class BlockStore : public CoefficientStore {
  public:
   /// Wraps `inner`. `block_size` is coefficients per block (power of two
@@ -38,26 +44,31 @@ class BlockStore : public CoefficientStore {
   uint64_t block_size() const { return block_size_; }
 
  protected:
-  double DoFetch(uint64_t key) override;
+  double DoFetch(uint64_t key, IoStats* io) const override;
 
   /// Groups the batch by block id and touches each distinct block exactly
   /// once (in first-appearance order): one batched call reads a block at
   /// most once no matter how many of its coefficients the batch wants —
   /// the whole point of block-granularity batching. Values are identical
   /// to a scalar Fetch loop; block_reads can only be lower.
-  void DoFetchBatch(std::span<const uint64_t> keys,
-                    std::span<double> out) override;
+  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                    IoStats* io) const override;
 
  private:
-  /// Records the block access; returns true on cache hit.
-  bool Touch(uint64_t block);
+  /// Records the block access; returns true on cache hit. Caller must hold
+  /// lru_mu_.
+  bool TouchLocked(uint64_t block) const;
 
   std::unique_ptr<CoefficientStore> inner_;
   uint64_t block_size_;
   uint64_t cache_blocks_;
+  /// The LRU buffer is logically cache state, not data: reads mutate it
+  /// under lru_mu_ so the counted read path stays const and thread-safe.
+  mutable std::mutex lru_mu_;
   // LRU: most recent at front.
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> in_cache_;
+  mutable std::list<uint64_t> lru_;
+  mutable std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
+      in_cache_;
 };
 
 }  // namespace wavebatch

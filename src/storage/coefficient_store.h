@@ -15,6 +15,14 @@ namespace wavebatch {
 /// hash-based storage with constant-time access to single values and no
 /// block-sharing effects; BlockStore adds the block-granularity model the
 /// paper lists as future work).
+///
+/// Accounting is per *call site*, not per store: callers that care about
+/// cost pass their own IoStats sink to Fetch/FetchBatch and the store adds
+/// into it. This is what makes one read-only store shareable by many
+/// concurrent sessions — each session carries its own counters, and the
+/// paper's cost model is counted per session (the right unit for
+/// multi-tenant accounting) instead of smeared across whoever happens to
+/// share the view.
 struct IoStats {
   /// Number of coefficient retrievals (the paper's headline cost metric).
   uint64_t retrievals = 0;
@@ -24,6 +32,18 @@ struct IoStats {
   uint64_t block_hits = 0;
 
   void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+    retrievals += other.retrievals;
+    block_reads += other.block_reads;
+    block_hits += other.block_hits;
+    return *this;
+  }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.retrievals == b.retrievals && a.block_reads == b.block_reads &&
+           a.block_hits == b.block_hits;
+  }
 };
 
 /// The materialized view Δ̂ (or any other linear transform of Δ): a map from
@@ -31,14 +51,20 @@ struct IoStats {
 /// FetchBatch() are the *counted* accesses used by evaluators; Peek() is
 /// free and used by tests, bounds computation, and internal plumbing.
 ///
+/// The read path is const and safe for concurrent readers: any number of
+/// threads may Fetch/FetchBatch/Peek one store at the same time (each with
+/// its own IoStats sink). Writes (Add) are not synchronized with reads —
+/// load or maintain the view first, then share it read-only.
+///
 /// Fetch/FetchBatch are non-virtual on purpose: they do the cost-model
 /// accounting here, once, and delegate to the protected DoFetch/DoFetchBatch
-/// hooks — so a backend override can never silently skip stats_.retrievals.
-/// FetchBatch is the hot path: backends coalesce, group, or parallelize the
-/// batch (FileStore sorts keys into contiguous reads; BlockStore touches
-/// each distinct block once), but every backend returns exactly the values
-/// a scalar Fetch loop would, and retrievals are counted per coefficient
-/// either way — batching changes the speed, never the cost model.
+/// hooks — so a backend override can never silently skip the retrieval
+/// count. FetchBatch is the hot path: backends coalesce, group, or
+/// parallelize the batch (FileStore sorts keys into contiguous reads;
+/// BlockStore touches each distinct block once), but every backend returns
+/// exactly the values a scalar Fetch loop would, and retrievals are counted
+/// per coefficient either way — batching changes the speed, never the cost
+/// model.
 class CoefficientStore {
  public:
   virtual ~CoefficientStore() = default;
@@ -46,22 +72,27 @@ class CoefficientStore {
   /// Uncounted read of the coefficient at `key` (0 if absent).
   virtual double Peek(uint64_t key) const = 0;
 
-  /// Counted retrieval: one unit of I/O in the paper's cost model.
-  double Fetch(uint64_t key) {
-    ++stats_.retrievals;
-    return DoFetch(key);
+  /// Counted retrieval: one unit of I/O in the paper's cost model, added to
+  /// `io` (pass nullptr to read without accounting — e.g. internal
+  /// plumbing that the caller already charges elsewhere).
+  double Fetch(uint64_t key, IoStats* io = nullptr) const {
+    if (io != nullptr) ++io->retrievals;
+    return DoFetch(key, io);
   }
 
   /// Counted vectorized retrieval: `out[i] = value at keys[i]` for every i,
-  /// counting keys.size() retrievals (duplicates each count — identical
-  /// accounting to a scalar Fetch loop). Requires keys.size() == out.size().
-  void FetchBatch(std::span<const uint64_t> keys, std::span<double> out) {
+  /// charging keys.size() retrievals to `io` (duplicates each count —
+  /// identical accounting to a scalar Fetch loop). Requires
+  /// keys.size() == out.size().
+  void FetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                  IoStats* io = nullptr) const {
     WB_CHECK_EQ(keys.size(), out.size());
-    stats_.retrievals += keys.size();
-    DoFetchBatch(keys, out);
+    if (io != nullptr) io->retrievals += keys.size();
+    DoFetchBatch(keys, out, io);
   }
 
   /// Adds `delta` to the coefficient at `key` (the tuple-insertion path).
+  /// Not synchronized with concurrent reads.
   virtual void Add(uint64_t key, double delta) = 0;
 
   /// Number of stored nonzero coefficients.
@@ -78,21 +109,23 @@ class CoefficientStore {
 
   virtual std::string name() const = 0;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
-
  protected:
-  /// Backend hook for one counted retrieval. Accounting already done.
-  virtual double DoFetch(uint64_t key) { return Peek(key); }
-
-  /// Backend hook for a counted batch. Accounting already done; must fill
-  /// out[i] with the value at keys[i] — same values as a DoFetch loop.
-  virtual void DoFetchBatch(std::span<const uint64_t> keys,
-                            std::span<double> out) {
-    for (size_t i = 0; i < keys.size(); ++i) out[i] = DoFetch(keys[i]);
+  /// Backend hook for one counted retrieval. Retrieval accounting already
+  /// done; backends with sub-coefficient cost models (BlockStore) add their
+  /// own counters to `io` when it is non-null. Must be safe to call from
+  /// multiple threads at once.
+  virtual double DoFetch(uint64_t key, IoStats* io) const {
+    (void)io;
+    return Peek(key);
   }
 
-  IoStats stats_;
+  /// Backend hook for a counted batch. Accounting already done; must fill
+  /// out[i] with the value at keys[i] — same values as a DoFetch loop —
+  /// and must be safe to call from multiple threads at once.
+  virtual void DoFetchBatch(std::span<const uint64_t> keys,
+                            std::span<double> out, IoStats* io) const {
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = DoFetch(keys[i], io);
+  }
 };
 
 }  // namespace wavebatch

@@ -17,7 +17,7 @@ void DenseStore::Add(uint64_t key, double delta) {
 }
 
 void DenseStore::DoFetchBatch(std::span<const uint64_t> keys,
-                              std::span<double> out) {
+                              std::span<double> out, IoStats*) const {
   for (size_t i = 0; i < keys.size(); ++i) {
     WB_CHECK_LT(keys[i], values_.size()) << "key outside dense store capacity";
     out[i] = values_[keys[i]];

@@ -32,8 +32,8 @@ class DenseStore : public CoefficientStore {
 
  protected:
   /// Single-probe gather over the backing array.
-  void DoFetchBatch(std::span<const uint64_t> keys,
-                    std::span<double> out) override;
+  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                    IoStats* io) const override;
 
  private:
   std::vector<double> values_;

@@ -108,7 +108,7 @@ void FileStore::ReadRun(const Run& run, std::span<const uint64_t> keys,
 }
 
 void FileStore::DoFetchBatch(std::span<const uint64_t> keys,
-                             std::span<double> out) {
+                             std::span<double> out, IoStats*) const {
   if (keys.empty()) return;
   if (keys.size() == 1) {
     out[0] = Peek(keys[0]);

@@ -50,8 +50,8 @@ class FileStore : public CoefficientStore {
   const std::string& path() const { return path_; }
 
  protected:
-  void DoFetchBatch(std::span<const uint64_t> keys,
-                    std::span<double> out) override;
+  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                    IoStats* io) const override;
 
  private:
   /// One coalesced read covering file keys [first_key, last_key]; `targets`

@@ -24,7 +24,7 @@ void HashStore::Add(uint64_t key, double delta) {
 }
 
 void HashStore::DoFetchBatch(std::span<const uint64_t> keys,
-                             std::span<double> out) {
+                             std::span<double> out, IoStats*) const {
   for (size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     out[i] = it == map_.end() ? 0.0 : it->second;

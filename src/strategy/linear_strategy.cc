@@ -7,14 +7,15 @@
 namespace wavebatch {
 
 Result<double> LinearStrategy::AnswerQuery(const RangeSumQuery& query,
-                                           CoefficientStore& store) const {
+                                           const CoefficientStore& store,
+                                           IoStats* io) const {
   Result<SparseVec> coeffs = TransformQuery(query);
   if (!coeffs.ok()) return coeffs.status();
   std::vector<uint64_t> keys;
   keys.reserve(coeffs->size());
   for (const SparseEntry& e : *coeffs) keys.push_back(e.key);
   std::vector<double> values(keys.size());
-  store.FetchBatch(keys, values);
+  store.FetchBatch(keys, values, io);
   double acc = 0.0;
   for (size_t i = 0; i < coeffs->size(); ++i) {
     acc += (*coeffs)[i].value * values[i];

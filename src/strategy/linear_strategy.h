@@ -54,9 +54,11 @@ class LinearStrategy {
   /// coefficients with ONE CoefficientStore::FetchBatch — e.g. the
   /// prefix-sum strategy's ≤2^d corner lookups become one batched probe
   /// instead of 2^d round-trips. Costs exactly TransformQuery(query)->size()
-  /// retrievals, the strategy's single-query I/O cost.
+  /// retrievals, the strategy's single-query I/O cost, charged to `io` when
+  /// the caller provides a sink.
   Result<double> AnswerQuery(const RangeSumQuery& query,
-                             CoefficientStore& store) const;
+                             const CoefficientStore& store,
+                             IoStats* io = nullptr) const;
 
   virtual std::string name() const = 0;
 

@@ -76,7 +76,6 @@ TEST(ExactTest, SharingNeverIncreasesIo) {
   Harness setup(strategy, 16);
   auto store = strategy.BuildStore(setup.rel.FrequencyDistribution());
   ExactBatchResult naive = EvaluateNaive(setup.query_coeffs, *store);
-  store->ResetStats();
   ExactBatchResult shared = EvaluateShared(setup.list, *store);
   EXPECT_LE(shared.retrievals, naive.retrievals);
   EXPECT_LT(shared.retrievals, naive.retrievals);  // overlap guaranteed here

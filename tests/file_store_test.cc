@@ -62,9 +62,10 @@ TEST_F(FileStoreTest, FetchCountsIo) {
   Result<std::unique_ptr<FileStore>> store =
       FileStore::Create(path_, {1.0, 2.0});
   ASSERT_TRUE(store.ok());
-  (*store)->Fetch(0);
-  (*store)->Fetch(1);
-  EXPECT_EQ((*store)->stats().retrievals, 2u);
+  IoStats io;
+  (*store)->Fetch(0, &io);
+  (*store)->Fetch(1, &io);
+  EXPECT_EQ(io.retrievals, 2u);
 }
 
 TEST_F(FileStoreTest, ForEachNonZeroScansEverything) {
@@ -107,10 +108,10 @@ TEST_F(FileStoreTest, FetchBatchMatchesScalarLoop) {
   batches.push_back(big);
 
   for (const std::vector<uint64_t>& keys : batches) {
-    (*store)->ResetStats();
+    IoStats io;
     std::vector<double> out(keys.size(), -1.0);
-    (*store)->FetchBatch(keys, out);
-    EXPECT_EQ((*store)->stats().retrievals, keys.size());
+    (*store)->FetchBatch(keys, out, &io);
+    EXPECT_EQ(io.retrievals, keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
       EXPECT_EQ(out[i], values[keys[i]]) << "key " << keys[i];
     }

@@ -58,10 +58,9 @@ TEST_P(ProgressiveOrderTest, CompletesToExactResults) {
 TEST_P(ProgressiveOrderTest, EveryCoefficientFetchedExactlyOnce) {
   Fixture f;
   SsePenalty sse;
-  f.store->ResetStats();
   ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
   ev.RunToCompletion();
-  EXPECT_EQ(f.store->stats().retrievals, f.list.size());
+  EXPECT_EQ(ev.io().retrievals, f.list.size());
 }
 
 TEST_P(ProgressiveOrderTest, NextImportanceZeroWhenDone) {
@@ -112,14 +111,13 @@ TEST_P(ProgressiveOrderTest, StepManyOvershootMidRunStopsAtCompletion) {
   // n > TotalSteps() - StepsTaken() must finish cleanly, not over-step.
   Fixture f;
   SsePenalty sse;
-  f.store->ResetStats();
   ProgressiveEvaluator ev(&f.list, &sse, f.store.get(), GetParam(), 17);
   ev.StepMany(f.list.size() / 2);
   const uint64_t taken = ev.StepsTaken();
   ev.StepMany((f.list.size() - taken) + 1000);
   EXPECT_TRUE(ev.Done());
   EXPECT_EQ(ev.StepsTaken(), f.list.size());
-  EXPECT_EQ(f.store->stats().retrievals, f.list.size());
+  EXPECT_EQ(ev.io().retrievals, f.list.size());
 }
 
 TEST_P(ProgressiveOrderTest, StepBatchOvershootStopsAtCompletion) {
@@ -138,7 +136,6 @@ TEST_P(ProgressiveOrderTest, StepBatchGoldenMatchesScalarSteps) {
   Fixture f;
   SsePenalty sse;
   const double k = f.store->SumAbs();
-  f.store->ResetStats();
   ProgressiveEvaluator scalar(&f.list, &sse, f.store.get(), GetParam(), 17);
   ProgressiveEvaluator batched(&f.list, &sse, f.store.get(), GetParam(), 17);
   const size_t batch_sizes[] = {1, 3, 7, 16, 64};
@@ -158,7 +155,8 @@ TEST_P(ProgressiveOrderTest, StepBatchGoldenMatchesScalarSteps) {
   }
   EXPECT_TRUE(scalar.Done());
   // Batched and scalar twins cost the same retrievals.
-  EXPECT_EQ(f.store->stats().retrievals, 2 * f.list.size());
+  EXPECT_EQ(scalar.io().retrievals, f.list.size());
+  EXPECT_EQ(batched.io(), scalar.io());
 }
 
 TEST(ProgressiveTest, PartialEstimatesAreBTermApproximations) {

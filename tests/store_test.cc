@@ -40,22 +40,40 @@ TEST(HashStoreTest, BulkLoadFromSparseVec) {
   EXPECT_DOUBLE_EQ(store.Peek(9), 2.0);
 }
 
-TEST(HashStoreTest, FetchCountsRetrievals) {
+TEST(HashStoreTest, FetchCountsRetrievalsIntoSink) {
   HashStore store;
   store.Add(1, 2.0);
-  EXPECT_EQ(store.stats().retrievals, 0u);
-  EXPECT_DOUBLE_EQ(store.Fetch(1), 2.0);
-  EXPECT_DOUBLE_EQ(store.Fetch(5), 0.0);  // absent fetches still cost
-  EXPECT_EQ(store.stats().retrievals, 2u);
-  store.ResetStats();
-  EXPECT_EQ(store.stats().retrievals, 0u);
+  IoStats io;
+  EXPECT_DOUBLE_EQ(store.Fetch(1, &io), 2.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(5, &io), 0.0);  // absent fetches still cost
+  EXPECT_EQ(io.retrievals, 2u);
 }
 
-TEST(HashStoreTest, PeekDoesNotCount) {
+TEST(HashStoreTest, FetchWithoutSinkIsUncounted) {
+  // Accounting is per-call now: with no sink there is nothing to charge,
+  // and separate sinks never see each other's traffic.
   HashStore store;
   store.Add(1, 2.0);
-  store.Peek(1);
-  EXPECT_EQ(store.stats().retrievals, 0u);
+  EXPECT_DOUBLE_EQ(store.Fetch(1), 2.0);
+  IoStats io;
+  store.Fetch(1, &io);
+  EXPECT_EQ(io.retrievals, 1u);
+}
+
+TEST(IoStatsTest, AccumulateAndCompare) {
+  IoStats a, b;
+  a.retrievals = 3;
+  a.block_reads = 1;
+  b.retrievals = 2;
+  b.block_hits = 4;
+  a += b;
+  EXPECT_EQ(a.retrievals, 5u);
+  EXPECT_EQ(a.block_reads, 1u);
+  EXPECT_EQ(a.block_hits, 4u);
+  IoStats c = a;
+  EXPECT_EQ(a, c);
+  c.Reset();
+  EXPECT_EQ(c, IoStats{});
 }
 
 TEST(HashStoreTest, SumAbs) {
@@ -77,8 +95,9 @@ TEST(DenseStoreTest, AddPeekFetch) {
   store.Add(3, 1.5);
   store.Add(3, 1.5);
   EXPECT_DOUBLE_EQ(store.Peek(3), 3.0);
-  EXPECT_DOUBLE_EQ(store.Fetch(3), 3.0);
-  EXPECT_EQ(store.stats().retrievals, 1u);
+  IoStats io;
+  EXPECT_DOUBLE_EQ(store.Fetch(3, &io), 3.0);
+  EXPECT_EQ(io.retrievals, 1u);
   EXPECT_EQ(store.NumNonZero(), 1u);
   EXPECT_DOUBLE_EQ(store.SumAbs(), 3.0);
 }
@@ -98,49 +117,67 @@ std::unique_ptr<CoefficientStore> MakeInner() {
 
 TEST(BlockStoreTest, FirstTouchIsBlockRead) {
   BlockStore store(MakeInner(), /*block_size=*/8, /*cache_blocks=*/4);
-  store.Fetch(0);
-  EXPECT_EQ(store.stats().retrievals, 1u);
-  EXPECT_EQ(store.stats().block_reads, 1u);
-  EXPECT_EQ(store.stats().block_hits, 0u);
+  IoStats io;
+  store.Fetch(0, &io);
+  EXPECT_EQ(io.retrievals, 1u);
+  EXPECT_EQ(io.block_reads, 1u);
+  EXPECT_EQ(io.block_hits, 0u);
 }
 
 TEST(BlockStoreTest, SameBlockHits) {
   BlockStore store(MakeInner(), 8, 4);
-  store.Fetch(0);
-  store.Fetch(7);  // same block [0,8)
-  store.Fetch(3);
-  EXPECT_EQ(store.stats().block_reads, 1u);
-  EXPECT_EQ(store.stats().block_hits, 2u);
+  IoStats io;
+  store.Fetch(0, &io);
+  store.Fetch(7, &io);  // same block [0,8)
+  store.Fetch(3, &io);
+  EXPECT_EQ(io.block_reads, 1u);
+  EXPECT_EQ(io.block_hits, 2u);
 }
 
 TEST(BlockStoreTest, LruEviction) {
   BlockStore store(MakeInner(), 8, 2);
-  store.Fetch(0);   // block 0 (miss)
-  store.Fetch(8);   // block 1 (miss)
-  store.Fetch(16);  // block 2 (miss, evicts block 0)
-  store.Fetch(0);   // block 0 again (miss)
-  EXPECT_EQ(store.stats().block_reads, 4u);
-  EXPECT_EQ(store.stats().block_hits, 0u);
+  IoStats io;
+  store.Fetch(0, &io);   // block 0 (miss)
+  store.Fetch(8, &io);   // block 1 (miss)
+  store.Fetch(16, &io);  // block 2 (miss, evicts block 0)
+  store.Fetch(0, &io);   // block 0 again (miss)
+  EXPECT_EQ(io.block_reads, 4u);
+  EXPECT_EQ(io.block_hits, 0u);
 }
 
 TEST(BlockStoreTest, LruTouchRefreshes) {
   BlockStore store(MakeInner(), 8, 2);
-  store.Fetch(0);   // block 0 (miss)            cache: {0}
-  store.Fetch(8);   // block 1 (miss)            cache: {1,0}
-  store.Fetch(1);   // block 0 (hit, refreshed)  cache: {0,1}
-  store.Fetch(16);  // block 2 (miss, evicts 1)  cache: {2,0}
-  store.Fetch(2);   // block 0 (hit)
-  EXPECT_EQ(store.stats().block_reads, 3u);
-  EXPECT_EQ(store.stats().block_hits, 2u);
+  IoStats io;
+  store.Fetch(0, &io);   // block 0 (miss)            cache: {0}
+  store.Fetch(8, &io);   // block 1 (miss)            cache: {1,0}
+  store.Fetch(1, &io);   // block 0 (hit, refreshed)  cache: {0,1}
+  store.Fetch(16, &io);  // block 2 (miss, evicts 1)  cache: {2,0}
+  store.Fetch(2, &io);   // block 0 (hit)
+  EXPECT_EQ(io.block_reads, 3u);
+  EXPECT_EQ(io.block_hits, 2u);
 }
 
 TEST(BlockStoreTest, UnbufferedEveryBlockAccessReads) {
   BlockStore store(MakeInner(), 8, 0);
-  store.Fetch(0);
-  store.Fetch(1);
-  store.Fetch(2);
-  EXPECT_EQ(store.stats().block_reads, 3u);
-  EXPECT_EQ(store.stats().block_hits, 0u);
+  IoStats io;
+  store.Fetch(0, &io);
+  store.Fetch(1, &io);
+  store.Fetch(2, &io);
+  EXPECT_EQ(io.block_reads, 3u);
+  EXPECT_EQ(io.block_hits, 0u);
+}
+
+TEST(BlockStoreTest, LruSharedAcrossSinks) {
+  // The buffer pool is store state; the counters are per-caller. A second
+  // caller with its own sink still hits the cache the first caller warmed.
+  BlockStore store(MakeInner(), 8, 2);
+  IoStats first, second;
+  store.Fetch(0, &first);  // block 0 (miss)
+  store.Fetch(1, &second);  // block 0 (hit via the shared cache)
+  EXPECT_EQ(first.block_reads, 1u);
+  EXPECT_EQ(first.block_hits, 0u);
+  EXPECT_EQ(second.block_reads, 0u);
+  EXPECT_EQ(second.block_hits, 1u);
 }
 
 TEST(BlockStoreTest, DelegatesValuesAndUpdates) {
@@ -163,15 +200,15 @@ TEST(BlockStoreTest, DelegatesValuesAndUpdates) {
 void ExpectBatchMatchesScalar(CoefficientStore& batch_store,
                               CoefficientStore& scalar_store,
                               const std::vector<uint64_t>& keys) {
-  batch_store.ResetStats();
-  scalar_store.ResetStats();
+  IoStats batch_io, scalar_io;
   std::vector<double> batched(keys.size());
-  batch_store.FetchBatch(keys, batched);
+  batch_store.FetchBatch(keys, batched, &batch_io);
   for (size_t i = 0; i < keys.size(); ++i) {
-    EXPECT_EQ(batched[i], scalar_store.Fetch(keys[i])) << "key " << keys[i];
+    EXPECT_EQ(batched[i], scalar_store.Fetch(keys[i], &scalar_io))
+        << "key " << keys[i];
   }
-  EXPECT_EQ(batch_store.stats().retrievals, scalar_store.stats().retrievals);
-  EXPECT_EQ(batch_store.stats().retrievals, keys.size());
+  EXPECT_EQ(batch_io.retrievals, scalar_io.retrievals);
+  EXPECT_EQ(batch_io.retrievals, keys.size());
 }
 
 TEST(FetchBatchTest, HashStoreMatchesScalarLoop) {
@@ -200,8 +237,9 @@ TEST(FetchBatchTest, BlockStoreMatchesScalarValuesAndRetrievals) {
 
 TEST(FetchBatchTest, EmptyBatchIsFree) {
   HashStore store;
-  store.FetchBatch({}, {});
-  EXPECT_EQ(store.stats().retrievals, 0u);
+  IoStats io;
+  store.FetchBatch({}, {}, &io);
+  EXPECT_EQ(io.retrievals, 0u);
 }
 
 TEST(FetchBatchTest, BlockStoreReadsEachDistinctBlockOnce) {
@@ -211,21 +249,23 @@ TEST(FetchBatchTest, BlockStoreReadsEachDistinctBlockOnce) {
   std::vector<uint64_t> keys;
   for (uint64_t k = 0; k < 16; ++k) keys.push_back(k);
   std::vector<double> out(keys.size());
-  store.FetchBatch(keys, out);
-  EXPECT_EQ(store.stats().retrievals, 16u);
-  EXPECT_EQ(store.stats().block_reads, 2u);
-  EXPECT_EQ(store.stats().block_hits, 0u);
+  IoStats io;
+  store.FetchBatch(keys, out, &io);
+  EXPECT_EQ(io.retrievals, 16u);
+  EXPECT_EQ(io.block_reads, 2u);
+  EXPECT_EQ(io.block_hits, 0u);
 }
 
 TEST(FetchBatchTest, BlockStoreBatchStillHitsWarmCache) {
   BlockStore store(MakeInner(), 8, 4);
-  store.Fetch(0);  // warms block 0
+  IoStats io;
+  store.Fetch(0, &io);  // warms block 0
   std::vector<uint64_t> keys = {1, 2, 3, 8};
   std::vector<double> out(keys.size());
-  store.FetchBatch(keys, out);
+  store.FetchBatch(keys, out, &io);
   // Block 0 is a (single) hit, block 1 a (single) read.
-  EXPECT_EQ(store.stats().block_reads, 2u);  // initial Fetch + block 1
-  EXPECT_EQ(store.stats().block_hits, 1u);
+  EXPECT_EQ(io.block_reads, 2u);  // initial Fetch + block 1
+  EXPECT_EQ(io.block_hits, 1u);
 }
 
 TEST(FetchBatchTest, DuplicateKeysEachCountAsRetrieval) {
@@ -235,8 +275,9 @@ TEST(FetchBatchTest, DuplicateKeysEachCountAsRetrieval) {
   store.Add(3, 1.5);
   std::vector<uint64_t> keys = {3, 3, 3};
   std::vector<double> out(keys.size());
-  store.FetchBatch(keys, out);
-  EXPECT_EQ(store.stats().retrievals, 3u);
+  IoStats io;
+  store.FetchBatch(keys, out, &io);
+  EXPECT_EQ(io.retrievals, 3u);
   for (double v : out) EXPECT_DOUBLE_EQ(v, 1.5);
 }
 

@@ -174,15 +174,15 @@ TEST(PrefixSumStrategyTest, AnswerQueryBatchesCornerLookups) {
   for (int t = 0; t < 20; ++t) {
     Range range = RandomRange(schema, rng);
     RangeSumQuery q = RangeSumQuery::Count(range);
-    store->ResetStats();
-    Result<double> answer = strategy.AnswerQuery(q, *store);
+    IoStats io;
+    Result<double> answer = strategy.AnswerQuery(q, *store, &io);
     ASSERT_TRUE(answer.ok()) << answer.status();
     const double expected = q.BruteForce(rel);
     EXPECT_NEAR(*answer, expected, 1e-6 * (1.0 + std::abs(expected)));
     Result<SparseVec> coeffs = strategy.TransformQuery(q);
     ASSERT_TRUE(coeffs.ok());
-    EXPECT_EQ(store->stats().retrievals, coeffs->size());
-    EXPECT_LE(store->stats().retrievals, 8u);  // ≤ 2^d corners
+    EXPECT_EQ(io.retrievals, coeffs->size());
+    EXPECT_LE(io.retrievals, 8u);  // ≤ 2^d corners
   }
 }
 
