@@ -128,9 +128,9 @@ int Main(int argc, char** argv) {
                      "nsse[coeff-importance]", "coeff fetches (block/coeff)"});
   for (uint64_t block_budget : {4, 16, 64, 256, 512}) {
     if (block_budget > by_block.TotalBlocks()) break;
-    by_block.StepToBlocks(block_budget);
+    WB_CHECK_OK(by_block.StepToBlocks(block_budget));
     while (coeff_blocks_touched.size() < block_budget && !by_coeff.Done()) {
-      const size_t entry = by_coeff.Step();
+      const size_t entry = by_coeff.Step().value();
       coeff_blocks_touched.insert(block_of(rank_list.entry(entry).key));
     }
     error_table.AddRow(

@@ -38,8 +38,10 @@ int Main(int argc, char** argv) {
         1, static_cast<uint64_t>(frac * static_cast<double>(naive)));
     // Retrievals are counted per run by the session's own IoStats sink, so
     // back-to-back sweeps don't contaminate each other.
-    BoundedRunResult res = RunWithBoundedWorkspace(
-        exp.workload.batch, exp.strategy, *exp.store, budget);
+    BoundedRunResult res =
+        RunWithBoundedWorkspace(exp.workload.batch, exp.strategy, *exp.store,
+                                budget)
+            .value();
     // Sanity: results must match the reference.
     double max_rel = 0.0;
     for (size_t i = 0; i < exp.exact.size(); ++i) {

@@ -234,7 +234,7 @@ void BM_EngineSessionStep(benchmark::State& state) {
       session = EvalSession(plan, store);
       state.ResumeTiming();
     }
-    benchmark::DoNotOptimize(session.Step());
+    benchmark::DoNotOptimize(session.Step().value());
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -356,9 +356,11 @@ void BM_FileStoreFetch(benchmark::State& state) {
   std::vector<double> out(batch_size);
   for (auto _ : state) {
     if (batched) {
-      (*store)->FetchBatch(keys, out);
+      WB_CHECK_OK((*store)->FetchBatch(keys, out));
     } else {
-      for (size_t i = 0; i < batch_size; ++i) out[i] = (*store)->Fetch(keys[i]);
+      for (size_t i = 0; i < batch_size; ++i) {
+        out[i] = (*store)->Fetch(keys[i]).value();
+      }
     }
     benchmark::DoNotOptimize(out.data());
   }
@@ -385,10 +387,10 @@ void BM_BlockStoreFetch(benchmark::State& state) {
   IoStats io;
   for (auto _ : state) {
     if (batched) {
-      store.FetchBatch(keys, out, &io);
+      WB_CHECK_OK(store.FetchBatch(keys, out, &io));
     } else {
       for (size_t i = 0; i < batch_size; ++i) {
-        out[i] = store.Fetch(keys[i], &io);
+        out[i] = store.Fetch(keys[i], &io).value();
       }
     }
     benchmark::DoNotOptimize(out.data());

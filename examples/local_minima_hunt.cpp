@@ -90,7 +90,7 @@ int main() {
     opts.order = ProgressionOrder::kKeyOrder;
     EvalSession session(EvalPlan::FromMasterList(list_ptr, nullptr), store,
                         opts);
-    session.RunToExact();
+    WB_CHECK_OK(session.RunToExact());
     exact = session.Estimates();
   }
   const std::set<size_t> truth = LocalMinima(w.partition, exact);
@@ -127,8 +127,12 @@ int main() {
   };
   for (size_t budget : {64, 256, 1024, 4096}) {
     if (budget > list.size()) break;
-    while (ev_sse.StepsTaken() < budget) used_sse[ev_sse.Step()] = true;
-    while (ev_mix.StepsTaken() < budget) used_mix[ev_mix.Step()] = true;
+    while (ev_sse.StepsTaken() < budget) {
+      used_sse[ev_sse.Step().value()] = true;
+    }
+    while (ev_mix.StepsTaken() < budget) {
+      used_mix[ev_mix.Step().value()] = true;
+    }
     std::printf("budget %zu retrievals (%.1f%% of master list):\n", budget,
                 100.0 * budget / list.size());
     Score("SSE progression:", LocalMinima(w.partition, ev_sse.Estimates()),

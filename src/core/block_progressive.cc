@@ -50,7 +50,9 @@ size_t BlockProgressiveEvaluator::StepBlock() {
     keys.push_back(list_->entry(entry_idx).key);
   }
   std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values, &io_);
+  // Legacy evaluator: crash-on-error golden reference (see engine for the
+  // fault-tolerant path).
+  WB_CHECK_OK(store_->FetchBatch(keys, values, &io_));
   coefficients_fetched_ += block.entries.size();
   for (size_t i = 0; i < block.entries.size(); ++i) {
     if (values[i] == 0.0) continue;

@@ -28,7 +28,9 @@ ExactBatchResult EvaluateNaive(
       keys.clear();
       for (size_t i = begin; i < end; ++i) keys.push_back(coeffs[i].key);
       values.assign(keys.size(), 0.0);
-      store.FetchBatch(keys, values, &io);
+      // Legacy evaluators are the crash-on-error golden reference; fault
+      // tolerance lives in the engine layer.
+      WB_CHECK_OK(store.FetchBatch(keys, values, &io));
       for (size_t i = begin; i < end; ++i) {
         acc += coeffs[i].value * values[i - begin];
       }
@@ -52,7 +54,7 @@ ExactBatchResult EvaluateShared(const MasterList& list,
     keys.clear();
     for (size_t i = begin; i < end; ++i) keys.push_back(entries[i].key);
     values.assign(keys.size(), 0.0);
-    store.FetchBatch(keys, values, &io);
+    WB_CHECK_OK(store.FetchBatch(keys, values, &io));
     // Entry order, like the scalar loop: identical accumulation sequence.
     for (size_t i = begin; i < end; ++i) {
       const double data = values[i - begin];

@@ -121,7 +121,9 @@ size_t ProgressiveEvaluator::Step() {
   WB_CHECK(!Done()) << "Step() after completion";
   const size_t entry_idx = PopNext();
   const MasterEntry& e = list_->entry(entry_idx);
-  const double data = store_->Fetch(e.key, &io_);
+  // Legacy evaluator: crash-on-error golden reference (see engine for the
+  // fault-tolerant path).
+  const double data = store_->Fetch(e.key, &io_).value();
   if (data != 0.0) {
     for (const auto& [query, coeff] : e.uses) {
       estimates_[query] += coeff * data;
@@ -147,7 +149,7 @@ size_t ProgressiveEvaluator::StepBatch(size_t n) {
     keys.push_back(list_->entry(entry_idx).key);
   }
   std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values, &io_);
+  WB_CHECK_OK(store_->FetchBatch(keys, values, &io_));
   // Apply in pop order: the identical floating-point accumulation sequence
   // a scalar Step() loop would produce.
   for (size_t i = 0; i < popped.size(); ++i) {

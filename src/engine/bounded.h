@@ -30,10 +30,13 @@ struct BoundedRunResult {
 /// gets its own group — exactness is never sacrificed. Results and
 /// retrieval counts reproduce the legacy EvaluateWithBoundedWorkspace bit
 /// for bit.
-BoundedRunResult RunWithBoundedWorkspace(const QueryBatch& batch,
-                                         const LinearStrategy& strategy,
-                                         const CoefficientStore& store,
-                                         uint64_t max_workspace_coefficients);
+///
+/// Fallible: a failed fetch (or query transform) surfaces as a non-OK
+/// Status. Groups completed before the failure are discarded with the
+/// partial result — the workspace-bounded run is all-or-nothing.
+Result<BoundedRunResult> RunWithBoundedWorkspace(
+    const QueryBatch& batch, const LinearStrategy& strategy,
+    const CoefficientStore& store, uint64_t max_workspace_coefficients);
 
 }  // namespace wavebatch
 

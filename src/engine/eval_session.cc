@@ -76,62 +76,116 @@ void EvalSession::ApplyEntry(size_t entry_idx, double data) {
   }
 }
 
-size_t EvalSession::Step() {
+void EvalSession::ConsumeImportance(size_t entry_idx) {
+  if (!plan_->HasImportance()) return;
+  // Clamp: ι sums are accumulated in a different order than they are
+  // subtracted, so the remainder can drift a few ulps below zero at the
+  // end of a run. Remaining importance is a mass; it never goes negative.
+  remaining_importance_ =
+      std::max(0.0, remaining_importance_ - plan_->importance(entry_idx));
+}
+
+void EvalSession::SkipEntry(size_t entry_idx) {
+  ++skipped_coefficients_;
+  if (plan_->HasImportance()) {
+    // The skipped mass stays in remaining_importance_ (it is still an
+    // unused coefficient for Theorem 2) and additionally accumulates here
+    // so Theorem 1's bound can be widened by it.
+    skipped_importance_ += plan_->importance(entry_idx);
+  }
+}
+
+Result<size_t> EvalSession::Step() {
   WB_CHECK(!options_.block_of) << "Step() on a block-granularity session";
   WB_CHECK(!Done()) << "Step() after completion";
   const size_t entry_idx = permutation_[steps_taken_];
-  ++steps_taken_;
-  if (plan_->HasImportance()) {
-    remaining_importance_ -= plan_->importance(entry_idx);
+  // Fetch BEFORE any bookkeeping: a failed fetch must leave the session
+  // exactly as it was (resumable), so the cursor and trackers only move
+  // once the data is in hand (or the fault is absorbed under kSkip).
+  Result<double> data =
+      store_->Fetch(plan_->list().entry(entry_idx).key, &io_);
+  if (!data.ok()) {
+    if (options_.fault_policy == FaultPolicy::kFail) return data.status();
+    ++steps_taken_;
+    SkipEntry(entry_idx);
+    return entry_idx;
   }
-  const double data = store_->Fetch(plan_->list().entry(entry_idx).key, &io_);
-  ApplyEntry(entry_idx, data);
+  ++steps_taken_;
+  ConsumeImportance(entry_idx);
+  ApplyEntry(entry_idx, *data);
   return entry_idx;
 }
 
-void EvalSession::StepMany(size_t n) {
-  for (size_t i = 0; i < n && !Done(); ++i) Step();
+Status EvalSession::StepMany(size_t n) {
+  for (size_t i = 0; i < n && !Done(); ++i) {
+    Result<size_t> step = Step();
+    if (!step.ok()) return step.status();
+  }
+  return Status::OK();
 }
 
-size_t EvalSession::StepBatch(size_t n) {
+Result<size_t> EvalSession::StepBatch(size_t n) {
   WB_CHECK(!options_.block_of) << "StepBatch() on a block-granularity session";
   n = std::min<size_t>(n, TotalSteps() - StepsTaken());
-  if (n == 0) return 0;
+  if (n == 0) return static_cast<size_t>(0);
   const MasterList& list = plan_->list();
+  const size_t first = steps_taken_;
   std::vector<uint64_t> keys;
   keys.reserve(n);
-  const size_t first = steps_taken_;
   for (size_t i = 0; i < n; ++i) {
-    const size_t entry_idx = permutation_[first + i];
-    keys.push_back(list.entry(entry_idx).key);
-    if (plan_->HasImportance()) {
-      remaining_importance_ -= plan_->importance(entry_idx);
+    keys.push_back(list.entry(permutation_[first + i]).key);
+  }
+  std::vector<double> values(keys.size());
+  Status status = store_->FetchBatch(keys, values, &io_);
+  if (!status.ok()) {
+    if (options_.fault_policy == FaultPolicy::kFail) return status;
+    // Degraded fallback: the all-or-nothing batch failed, so refetch key by
+    // key and skip only the ones that are genuinely unavailable. Retrieval
+    // accounting matches: the failed batch charged nothing, each scalar
+    // success charges one.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t entry_idx = permutation_[first + i];
+      Result<double> value = store_->Fetch(keys[i], &io_);
+      ++steps_taken_;
+      if (!value.ok()) {
+        SkipEntry(entry_idx);
+        continue;
+      }
+      ConsumeImportance(entry_idx);
+      ApplyEntry(entry_idx, *value);
     }
+    return n;
   }
   steps_taken_ += n;
-  std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values, &io_);
   // Apply in consumption order: the identical floating-point accumulation
   // sequence a scalar Step() loop would produce.
   for (size_t i = 0; i < n; ++i) {
-    ApplyEntry(permutation_[first + i], values[i]);
+    const size_t entry_idx = permutation_[first + i];
+    ConsumeImportance(entry_idx);
+    ApplyEntry(entry_idx, values[i]);
   }
   return n;
 }
 
-void EvalSession::RunToExact() {
+Status EvalSession::RunToExact() {
   if (options_.block_of) {
-    while (!Done()) StepBlock();
-    return;
+    while (!Done()) {
+      Result<size_t> block = StepBlock();
+      if (!block.ok()) return block.status();
+    }
+    return Status::OK();
   }
-  while (!Done()) StepBatch(options_.run_chunk);
+  while (!Done()) {
+    Result<size_t> batch = StepBatch(options_.run_chunk);
+    if (!batch.ok()) return batch.status();
+  }
+  return Status::OK();
 }
 
-size_t EvalSession::StepBlock() {
+Result<size_t> EvalSession::StepBlock() {
   WB_CHECK(options_.block_of) << "StepBlock() on a coefficient session";
   WB_CHECK(!Done()) << "StepBlock() after completion";
   const Block& block = blocks_[block_order_[blocks_fetched_]];
-  ++blocks_fetched_;
   const MasterList& list = plan_->list();
   // One batched fetch per block — on a BlockStore backend this touches the
   // underlying block exactly once, matching the simulated cost model.
@@ -139,20 +193,44 @@ size_t EvalSession::StepBlock() {
   keys.reserve(block.entries.size());
   for (size_t entry_idx : block.entries) {
     keys.push_back(list.entry(entry_idx).key);
-    remaining_importance_ -= plan_->importance(entry_idx);
   }
   std::vector<double> values(keys.size());
-  store_->FetchBatch(keys, values, &io_);
+  Status status = store_->FetchBatch(keys, values, &io_);
+  if (!status.ok()) {
+    if (options_.fault_policy == FaultPolicy::kFail) return status;
+    // Degraded fallback, per key (see StepBatch). The block is consumed
+    // either way; only the unavailable members are skipped.
+    ++blocks_fetched_;
+    for (size_t i = 0; i < block.entries.size(); ++i) {
+      const size_t entry_idx = block.entries[i];
+      Result<double> value = store_->Fetch(keys[i], &io_);
+      ++steps_taken_;
+      if (!value.ok()) {
+        SkipEntry(entry_idx);
+        continue;
+      }
+      ++coefficients_fetched_;
+      ConsumeImportance(entry_idx);
+      ApplyEntry(entry_idx, *value);
+    }
+    return block.entries.size();
+  }
+  ++blocks_fetched_;
   coefficients_fetched_ += block.entries.size();
   steps_taken_ += block.entries.size();
   for (size_t i = 0; i < block.entries.size(); ++i) {
+    ConsumeImportance(block.entries[i]);
     ApplyEntry(block.entries[i], values[i]);
   }
   return block.entries.size();
 }
 
-void EvalSession::StepToBlocks(uint64_t n) {
-  while (!Done() && blocks_fetched_ < n) StepBlock();
+Status EvalSession::StepToBlocks(uint64_t n) {
+  while (!Done() && blocks_fetched_ < n) {
+    Result<size_t> block = StepBlock();
+    if (!block.ok()) return block.status();
+  }
+  return Status::OK();
 }
 
 double EvalSession::NextBlockImportance() const {
@@ -168,13 +246,17 @@ double EvalSession::NextImportance() const {
 
 double EvalSession::WorstCaseBound(double k_sum_abs) const {
   WB_CHECK(plan_->HasImportance());
+  // Degraded runs widen the bound by the skipped mass: a coefficient we
+  // could not read is bounded by K in magnitude exactly like one we have
+  // not read yet, but it never leaves the unknown set.
   return std::pow(k_sum_abs, plan_->penalty()->HomogeneityDegree()) *
-         NextImportance();
+         (NextImportance() + skipped_importance_);
 }
 
 double EvalSession::ExpectedPenalty(uint64_t domain_cells) const {
   WB_CHECK_GT(domain_cells, 0u);
-  // Clamp tiny negative drift from repeated subtraction.
+  // remaining_importance_ is clamped at subtraction time; the max here is
+  // belt and braces for older serialized sessions.
   const double remaining = std::max(remaining_importance_, 0.0);
   return remaining / static_cast<double>(domain_cells);
 }

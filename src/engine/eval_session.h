@@ -8,6 +8,7 @@
 
 #include "engine/eval_plan.h"
 #include "storage/coefficient_store.h"
+#include "util/status.h"
 
 namespace wavebatch {
 
@@ -17,6 +18,24 @@ namespace wavebatch {
 /// shared_ptr directly — prefer that.
 std::shared_ptr<const CoefficientStore> UnownedStore(
     const CoefficientStore& store);
+
+/// What a session does when a counted fetch reports a non-OK Status.
+enum class FaultPolicy {
+  /// Propagate the Status to the caller and leave the session exactly as it
+  /// was before the call: cursor, estimates, trackers, and I/O counters
+  /// untouched. The caller may retry the same call (the session is
+  /// resumable) or abandon the run with valid progressive bounds.
+  kFail,
+  /// Degraded mode: consume the failing coefficient *without its data* —
+  /// the cursor advances, estimates are computed as if the coefficient were
+  /// zero, and its importance moves to SkippedImportance(), which widens
+  /// WorstCaseBound() additively (the skipped coefficient could still be
+  /// anything, so Theorem 1's K^α·ι_p cap applies to it forever) and stays
+  /// in ExpectedPenalty()'s remaining mass (it is an unused coefficient in
+  /// Theorem 2's sense). Batched calls fall back to per-key scalar fetches
+  /// when the batch fails, so only genuinely unavailable keys are skipped.
+  kSkip,
+};
 
 /// The mutable half of a progressive batch evaluation: a cheap cursor over
 /// an EvalPlan. One session = one progressive run — estimates, bound
@@ -44,6 +63,8 @@ struct EvalSessionOptions {
   std::function<uint64_t(uint64_t)> block_of;
   /// FetchBatch chunk used by RunToExact.
   size_t run_chunk = 4096;
+  /// Fetch-failure handling; see FaultPolicy.
+  FaultPolicy fault_policy = FaultPolicy::kFail;
 };
 
 class EvalSession {
@@ -64,27 +85,34 @@ class EvalSession {
   bool Done() const;
 
   /// One retrieval; requires !Done() and coefficient granularity. Returns
-  /// the master-list entry index consumed.
-  size_t Step();
+  /// the master-list entry index consumed. A non-OK Status (under kFail)
+  /// leaves the session unchanged — call Step() again to retry.
+  Result<size_t> Step();
 
-  /// Up to `n` further retrievals, one storage round-trip each.
-  void StepMany(size_t n);
+  /// Up to `n` further retrievals, one storage round-trip each. Under
+  /// kFail, stops at the first failing fetch (steps before it are kept —
+  /// they were individually complete) and returns its Status.
+  Status StepMany(size_t n);
 
   /// Up to `n` further retrievals issued as ONE FetchBatch; estimates,
   /// trackers, and counts identical to `n` scalar Step() calls. Returns
-  /// the number of steps taken.
-  size_t StepBatch(size_t n);
+  /// the number of steps taken. A non-OK Status (under kFail) leaves the
+  /// session unchanged — the whole batch is retryable.
+  Result<size_t> StepBatch(size_t n);
 
   /// Runs to completion (chunked by Options::run_chunk at coefficient
   /// granularity; block by block at block granularity). Estimates are
-  /// exact afterwards.
-  void RunToExact();
+  /// exact afterwards (under kSkip: exact up to skipped coefficients).
+  /// On a non-OK Status the session stays resumable — a later
+  /// RunToExact() picks up where this one stopped.
+  Status RunToExact();
 
   /// Block granularity only: fetches the most important unfetched block,
   /// returns the number of coefficients it contributed. Requires !Done().
-  size_t StepBlock();
+  /// A non-OK Status (under kFail) leaves the session unchanged.
+  Result<size_t> StepBlock();
   /// Fetches blocks until `n` blocks have been consumed in total.
-  void StepToBlocks(uint64_t n);
+  Status StepToBlocks(uint64_t n);
   size_t TotalBlocks() const { return blocks_.size(); }
   uint64_t BlocksFetched() const { return blocks_fetched_; }
   uint64_t CoefficientsFetched() const { return coefficients_fetched_; }
@@ -100,18 +128,30 @@ class EvalSession {
 
   /// Theorem 1's worst-case penalty bound K^α·ι_p(ξ′) for the current
   /// approximation; `k_sum_abs` is the store's SumAbs. Sharp under
-  /// kBiggestB.
+  /// kBiggestB. Under kSkip the bound widens by K^α·Σ ι_p over skipped
+  /// coefficients: each one is still worth at most K in absolute value, and
+  /// unlike the not-yet-fetched tail it never stops being unknown.
   double WorstCaseBound(double k_sum_abs) const;
 
   /// Theorem 2's expected penalty Σ_{unused ξ} ι_p(ξ) / `domain_cells`.
+  /// Skipped coefficients count as unused.
   double ExpectedPenalty(uint64_t domain_cells) const;
 
+  /// Coefficients consumed without data under FaultPolicy::kSkip.
+  uint64_t SkippedCoefficients() const { return skipped_coefficients_; }
+  /// Σ ι_p over skipped coefficients (0 unless kSkip absorbed a fault).
+  double SkippedImportance() const { return skipped_importance_; }
+
   /// I/O charged by this session's fetches alone — per-session accounting;
-  /// the shared store keeps no counters.
+  /// the shared store keeps no counters. Failed fetches charge nothing.
   const IoStats& io() const { return io_; }
 
  private:
   void ApplyEntry(size_t entry_idx, double data);
+  /// Moves entry_idx's importance out of the remaining (unfetched) mass.
+  void ConsumeImportance(size_t entry_idx);
+  /// Records entry_idx as consumed-without-data (degraded mode).
+  void SkipEntry(size_t entry_idx);
 
   std::shared_ptr<const EvalPlan> plan_;
   std::shared_ptr<const CoefficientStore> store_;
@@ -136,6 +176,8 @@ class EvalSession {
   std::vector<double> estimates_;
   uint64_t steps_taken_ = 0;
   double remaining_importance_ = 0.0;
+  uint64_t skipped_coefficients_ = 0;
+  double skipped_importance_ = 0.0;
   IoStats io_;
 };
 

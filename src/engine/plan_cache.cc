@@ -1,27 +1,15 @@
 #include "engine/plan_cache.h"
 
-#include <cstring>
 #include <utility>
 
 #include "util/check.h"
+#include "util/fingerprint.h"
 
 namespace wavebatch {
 
-namespace {
-
-void AppendU64(std::string& s, uint64_t v) {
-  char buf[sizeof(v)];
-  std::memcpy(buf, &v, sizeof(v));
-  s.append(buf, sizeof(v));
-}
-
-void AppendF64(std::string& s, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  AppendU64(s, bits);
-}
-
-}  // namespace
+using fingerprint::AppendF64;
+using fingerprint::AppendString;
+using fingerprint::AppendU64;
 
 std::string PlanCache::Fingerprint(const QueryBatch& batch,
                                    const LinearStrategy& strategy,
@@ -29,7 +17,15 @@ std::string PlanCache::Fingerprint(const QueryBatch& batch,
   std::string key;
   key += strategy.name();
   key += '\0';
-  AppendU64(key, reinterpret_cast<uintptr_t>(penalty));
+  // Content, not address: a recycled allocation must not revive a stale
+  // plan, and equal penalties should share one. Penalty-free plans get a
+  // marker no Fingerprint() can produce (it always starts with a length-
+  // prefixed type tag, so a lone zero-length field cannot collide).
+  if (penalty == nullptr) {
+    AppendU64(key, 0);
+  } else {
+    AppendString(key, penalty->Fingerprint());
+  }
   const Schema& schema = batch.schema();
   AppendU64(key, schema.num_dims());
   for (const Dimension& d : schema.dims()) {

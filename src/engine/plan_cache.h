@@ -18,10 +18,12 @@ namespace wavebatch {
 /// re-issuing the same batch every refresh gets its plan back in a hash
 /// lookup (bench_micro measures the gap).
 ///
-/// The penalty participates in the key by object identity, not name:
-/// two parameterized penalties can share a name while ranking coefficients
-/// differently, and identity is the only equality the PenaltyFunction
-/// interface guarantees. Cache with long-lived penalty objects.
+/// The penalty participates in the key by *content*, via
+/// PenaltyFunction::Fingerprint(): two penalties that encode the same
+/// parameters rank coefficients identically, so they share a plan — even
+/// across distinct penalty objects, and (crucially) a freed-then-recycled
+/// penalty address can never alias a live cache entry, which pointer-keyed
+/// fingerprints were vulnerable to.
 ///
 /// Thread-safe; plans are immutable so a cached hit may be shared across
 /// concurrent sessions freely.
@@ -45,7 +47,7 @@ class PlanCache {
 
   /// The cache key: a byte-exact fingerprint of the batch's schema, every
   /// query's intervals and monomials, the strategy name, and the penalty's
-  /// address. Exposed for tests.
+  /// content fingerprint. Exposed for tests.
   static std::string Fingerprint(const QueryBatch& batch,
                                  const LinearStrategy& strategy,
                                  const PenaltyFunction* penalty);

@@ -1,8 +1,20 @@
 #include "penalty/laplacian.h"
 
 #include "util/check.h"
+#include "util/fingerprint.h"
 
 namespace wavebatch {
+
+namespace {
+void AppendEdges(std::string& fp,
+                 const std::vector<std::pair<size_t, size_t>>& edges) {
+  fingerprint::AppendU64(fp, edges.size());
+  for (const auto& [i, j] : edges) {
+    fingerprint::AppendU64(fp, i);
+    fingerprint::AppendU64(fp, j);
+  }
+}
+}  // namespace
 
 DifferencePenalty::DifferencePenalty(
     size_t num_queries, std::vector<std::pair<size_t, size_t>> edges)
@@ -25,6 +37,14 @@ double DifferencePenalty::Apply(std::span<const double> e) const {
     acc += d * d;
   }
   return acc;
+}
+
+std::string DifferencePenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, num_queries_);
+  AppendEdges(fp, edges_);
+  return fp;
 }
 
 LaplacianPenalty::LaplacianPenalty(
@@ -53,6 +73,19 @@ double LaplacianPenalty::Apply(std::span<const double> e) const {
   return acc;
 }
 
+std::string LaplacianPenalty::Fingerprint() const {
+  // The adjacency lists are equivalent to the edge list they were built
+  // from (same construction order), so they are the content to encode.
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, num_queries_);
+  for (const std::vector<size_t>& list : neighbors_) {
+    fingerprint::AppendU64(fp, list.size());
+    for (size_t j : list) fingerprint::AppendU64(fp, j);
+  }
+  return fp;
+}
+
 SobolevPenalty::SobolevPenalty(size_t num_queries,
                                std::vector<std::pair<size_t, size_t>> edges,
                                double lambda)
@@ -78,6 +111,15 @@ double SobolevPenalty::Apply(std::span<const double> e) const {
     acc += lambda_ * d * d;
   }
   return acc;
+}
+
+std::string SobolevPenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, num_queries_);
+  AppendEdges(fp, edges_);
+  fingerprint::AppendF64(fp, lambda_);
+  return fp;
 }
 
 }  // namespace wavebatch

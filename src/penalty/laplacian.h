@@ -27,6 +27,7 @@ class DifferencePenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "difference"; }
+  std::string Fingerprint() const override;
 
  private:
   size_t num_queries_;
@@ -47,6 +48,7 @@ class LaplacianPenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "laplacian"; }
+  std::string Fingerprint() const override;
 
  private:
   size_t num_queries_;
@@ -70,6 +72,7 @@ class SobolevPenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "sobolev"; }
+  std::string Fingerprint() const override;
 
   double lambda() const { return lambda_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/fingerprint.h"
 #include "util/table.h"
 
 namespace wavebatch {
@@ -38,6 +39,16 @@ double LpPenalty::Apply(std::span<const double> e) const {
 std::string LpPenalty::name() const {
   if (is_infinity_) return "linf";
   return "l" + FormatDouble(p_, 3);
+}
+
+std::string LpPenalty::Fingerprint() const {
+  std::string fp;
+  // The type tag is the family ("lp"), not name(): name() rounds p for
+  // display, and two different exponents must never fingerprint equal.
+  fingerprint::AppendString(fp, "lp");
+  fingerprint::AppendU64(fp, is_infinity_ ? 1 : 0);
+  fingerprint::AppendF64(fp, p_);
+  return fp;
 }
 
 }  // namespace wavebatch

@@ -20,6 +20,7 @@ class LpPenalty : public PenaltyFunction {
   double Apply(std::span<const double> e) const override;
   double HomogeneityDegree() const override { return 1.0; }
   std::string name() const override;
+  std::string Fingerprint() const override;
 
   double p() const { return p_; }
   bool is_infinity() const { return is_infinity_; }

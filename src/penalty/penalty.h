@@ -33,6 +33,14 @@ class PenaltyFunction {
   virtual bool IsQuadratic() const { return false; }
 
   virtual std::string name() const = 0;
+
+  /// Byte-exact encoding of this penalty's *content*: type tag plus every
+  /// parameter that affects Apply(). Two penalties with equal fingerprints
+  /// produce equal importance orderings, so PlanCache may serve one plan
+  /// for both — even across distinct (or recycled) object addresses. Build
+  /// with the helpers in util/fingerprint.h; start with the length-prefixed
+  /// type tag so different types can never collide.
+  virtual std::string Fingerprint() const = 0;
 };
 
 using PenaltyPtr = std::unique_ptr<PenaltyFunction>;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/fingerprint.h"
 
 namespace wavebatch {
 
@@ -68,6 +69,14 @@ double DenseQuadraticPenalty::Apply(std::span<const double> e) const {
   return acc < 0.0 ? 0.0 : acc;
 }
 
+std::string DenseQuadraticPenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, s_);
+  for (double v : matrix_) fingerprint::AppendF64(fp, v);
+  return fp;
+}
+
 void CompositeQuadraticPenalty::AddTerm(double c,
                                         const PenaltyFunction* penalty) {
   WB_CHECK_GE(c, 0.0);
@@ -81,6 +90,19 @@ double CompositeQuadraticPenalty::Apply(std::span<const double> e) const {
   double acc = 0.0;
   for (const auto& [c, p] : terms_) acc += c * p->Apply(e);
   return acc;
+}
+
+std::string CompositeQuadraticPenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, terms_.size());
+  for (const auto& [c, p] : terms_) {
+    fingerprint::AppendF64(fp, c);
+    // Length-prefixed recursion: component fingerprints can never bleed
+    // into each other or into the next coefficient.
+    fingerprint::AppendString(fp, p->Fingerprint());
+  }
+  return fp;
 }
 
 }  // namespace wavebatch

@@ -24,6 +24,7 @@ class DenseQuadraticPenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "quadratic"; }
+  std::string Fingerprint() const override;
 
   size_t size() const { return s_; }
   double coeff(size_t i, size_t j) const { return matrix_[i * s_ + j]; }
@@ -50,6 +51,7 @@ class CompositeQuadraticPenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "composite"; }
+  std::string Fingerprint() const override;
 
  private:
   std::vector<std::pair<double, const PenaltyFunction*>> terms_;

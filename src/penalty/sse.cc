@@ -1,6 +1,7 @@
 #include "penalty/sse.h"
 
 #include "util/check.h"
+#include "util/fingerprint.h"
 
 namespace wavebatch {
 
@@ -8,6 +9,12 @@ double SsePenalty::Apply(std::span<const double> e) const {
   double acc = 0.0;
   for (double v : e) acc += v * v;
   return acc;
+}
+
+std::string SsePenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  return fp;
 }
 
 WeightedSsePenalty::WeightedSsePenalty(std::vector<double> weights)
@@ -24,6 +31,14 @@ double WeightedSsePenalty::Apply(std::span<const double> e) const {
     acc += weights_[i] * e[i] * e[i];
   }
   return acc;
+}
+
+std::string WeightedSsePenalty::Fingerprint() const {
+  std::string fp;
+  fingerprint::AppendString(fp, name());
+  fingerprint::AppendU64(fp, weights_.size());
+  for (double w : weights_) fingerprint::AppendF64(fp, w);
+  return fp;
 }
 
 WeightedSsePenalty CursoredSsePenalty(size_t num_queries,

@@ -15,6 +15,7 @@ class SsePenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "sse"; }
+  std::string Fingerprint() const override;
 };
 
 /// Diagonal quadratic penalty p(e) = Σ w_i·|e_i|² with w_i >= 0. Zero
@@ -29,6 +30,7 @@ class WeightedSsePenalty : public PenaltyFunction {
   double HomogeneityDegree() const override { return 2.0; }
   bool IsQuadratic() const override { return true; }
   std::string name() const override { return "weighted-sse"; }
+  std::string Fingerprint() const override;
 
   const std::vector<double>& weights() const { return weights_; }
 

@@ -34,7 +34,9 @@ bool BlockStore::TouchLocked(uint64_t block) const {
   return false;
 }
 
-double BlockStore::DoFetch(uint64_t key, IoStats* io) const {
+Result<double> BlockStore::DoFetch(uint64_t key, IoStats* io) const {
+  Result<double> value = DelegateFetch(*inner_, key, io);
+  if (!value.ok()) return value;
   {
     std::lock_guard<std::mutex> lock(lru_mu_);
     if (TouchLocked(key / block_size_)) {
@@ -43,11 +45,15 @@ double BlockStore::DoFetch(uint64_t key, IoStats* io) const {
       if (io != nullptr) ++io->block_reads;
     }
   }
-  return inner_->Peek(key);
+  return value;
 }
 
-void BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
-                              std::span<double> out, IoStats* io) const {
+Status BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
+                                std::span<double> out, IoStats* io) const {
+  // Read through the inner backend first: a failed batch must leave both
+  // counters and the LRU untouched (all-or-nothing, like the scalar path).
+  Status status = DelegateFetchBatch(*inner_, keys, out, io);
+  if (!status.ok()) return status;
   // Touch each distinct block once, in first-appearance order (so the LRU
   // state after the call matches a scalar loop's up to refresh order). One
   // lock acquisition per batch, not per key.
@@ -65,7 +71,7 @@ void BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
       }
     }
   }
-  for (size_t i = 0; i < keys.size(); ++i) out[i] = inner_->Peek(keys[i]);
+  return Status::OK();
 }
 
 void BlockStore::Add(uint64_t key, double delta) { inner_->Add(key, delta); }

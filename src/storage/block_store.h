@@ -44,15 +44,18 @@ class BlockStore : public CoefficientStore {
   uint64_t block_size() const { return block_size_; }
 
  protected:
-  double DoFetch(uint64_t key, IoStats* io) const override;
+  /// Reads through the inner backend first and touches the LRU only on
+  /// success, so a failed fetch neither warms the buffer nor counts a
+  /// block read — errors (e.g. from a file-backed inner store) propagate.
+  Result<double> DoFetch(uint64_t key, IoStats* io) const override;
 
   /// Groups the batch by block id and touches each distinct block exactly
   /// once (in first-appearance order): one batched call reads a block at
   /// most once no matter how many of its coefficients the batch wants —
   /// the whole point of block-granularity batching. Values are identical
   /// to a scalar Fetch loop; block_reads can only be lower.
-  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
-                    IoStats* io) const override;
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
 
  private:
   /// Records the block access; returns true on cache hit. Caller must hold

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace wavebatch {
 
@@ -65,6 +66,14 @@ struct IoStats {
 /// exactly the values a scalar Fetch loop would, and retrievals are counted
 /// per coefficient either way — batching changes the speed, never the cost
 /// model.
+///
+/// Fetches are fallible: a backend reports short reads, I/O errors, and
+/// out-of-capacity keys as a non-OK Status instead of aborting the process
+/// (the engine turns such faults into resumable or degraded sessions; see
+/// EvalSession). A failed fetch charges nothing to `io` — the paper's cost
+/// model counts coefficients *retrieved*, and a failed attempt retrieved
+/// none. Peek stays infallible-by-contract: it is the uncounted trusted
+/// path (tests, bounds plumbing) and still aborts on backend corruption.
 class CoefficientStore {
  public:
   virtual ~CoefficientStore() = default;
@@ -74,21 +83,25 @@ class CoefficientStore {
 
   /// Counted retrieval: one unit of I/O in the paper's cost model, added to
   /// `io` (pass nullptr to read without accounting — e.g. internal
-  /// plumbing that the caller already charges elsewhere).
-  double Fetch(uint64_t key, IoStats* io = nullptr) const {
-    if (io != nullptr) ++io->retrievals;
-    return DoFetch(key, io);
+  /// plumbing that the caller already charges elsewhere). On error nothing
+  /// is charged and the Status explains the failure.
+  Result<double> Fetch(uint64_t key, IoStats* io = nullptr) const {
+    Result<double> value = DoFetch(key, io);
+    if (value.ok() && io != nullptr) ++io->retrievals;
+    return value;
   }
 
   /// Counted vectorized retrieval: `out[i] = value at keys[i]` for every i,
   /// charging keys.size() retrievals to `io` (duplicates each count —
   /// identical accounting to a scalar Fetch loop). Requires
-  /// keys.size() == out.size().
-  void FetchBatch(std::span<const uint64_t> keys, std::span<double> out,
-                  IoStats* io = nullptr) const {
+  /// keys.size() == out.size(). All-or-nothing: on a non-OK Status the
+  /// contents of `out` are unspecified and nothing is charged to `io`.
+  Status FetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                    IoStats* io = nullptr) const {
     WB_CHECK_EQ(keys.size(), out.size());
-    if (io != nullptr) io->retrievals += keys.size();
-    DoFetchBatch(keys, out, io);
+    Status status = DoFetchBatch(keys, out, io);
+    if (status.ok() && io != nullptr) io->retrievals += keys.size();
+    return status;
   }
 
   /// Adds `delta` to the coefficient at `key` (the tuple-insertion path).
@@ -110,21 +123,44 @@ class CoefficientStore {
   virtual std::string name() const = 0;
 
  protected:
-  /// Backend hook for one counted retrieval. Retrieval accounting already
-  /// done; backends with sub-coefficient cost models (BlockStore) add their
-  /// own counters to `io` when it is non-null. Must be safe to call from
-  /// multiple threads at once.
-  virtual double DoFetch(uint64_t key, IoStats* io) const {
+  /// Backend hook for one counted retrieval. Retrieval accounting is done
+  /// by the Fetch wrapper (on success only); backends with sub-coefficient
+  /// cost models (BlockStore) add their own counters to `io` when it is
+  /// non-null. Must be safe to call from multiple threads at once, and must
+  /// report failures as a Status rather than aborting.
+  virtual Result<double> DoFetch(uint64_t key, IoStats* io) const {
     (void)io;
     return Peek(key);
   }
 
-  /// Backend hook for a counted batch. Accounting already done; must fill
-  /// out[i] with the value at keys[i] — same values as a DoFetch loop —
-  /// and must be safe to call from multiple threads at once.
-  virtual void DoFetchBatch(std::span<const uint64_t> keys,
-                            std::span<double> out, IoStats* io) const {
-    for (size_t i = 0; i < keys.size(); ++i) out[i] = DoFetch(keys[i], io);
+  /// Backend hook for a counted batch. Accounting is done by the wrapper;
+  /// must fill out[i] with the value at keys[i] — same values as a DoFetch
+  /// loop — and must be safe to call from multiple threads at once. On the
+  /// first failing key the hook returns its Status; `out` is then
+  /// unspecified.
+  virtual Status DoFetchBatch(std::span<const uint64_t> keys,
+                              std::span<double> out, IoStats* io) const {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      Result<double> value = DoFetch(keys[i], io);
+      if (!value.ok()) return value.status();
+      out[i] = value.value();
+    }
+    return Status::OK();
+  }
+
+  /// Delegation helpers for decorator backends (BlockStore,
+  /// FaultInjectionStore): invoke another store's hooks directly — an
+  /// *uncounted* read that still propagates errors and the inner backend's
+  /// sub-model counters. Going through the public Fetch/FetchBatch instead
+  /// would double-charge retrievals (the outer wrapper already counts).
+  static Result<double> DelegateFetch(const CoefficientStore& inner,
+                                      uint64_t key, IoStats* io) {
+    return inner.DoFetch(key, io);
+  }
+  static Status DelegateFetchBatch(const CoefficientStore& inner,
+                                   std::span<const uint64_t> keys,
+                                   std::span<double> out, IoStats* io) {
+    return inner.DoFetchBatch(keys, out, io);
   }
 };
 

@@ -16,12 +16,28 @@ void DenseStore::Add(uint64_t key, double delta) {
   values_[key] += delta;
 }
 
-void DenseStore::DoFetchBatch(std::span<const uint64_t> keys,
-                              std::span<double> out, IoStats*) const {
+namespace {
+Status KeyOutOfRange(uint64_t key, size_t capacity) {
+  return Status::OutOfRange("key " + std::to_string(key) +
+                            " outside dense store capacity " +
+                            std::to_string(capacity));
+}
+}  // namespace
+
+Result<double> DenseStore::DoFetch(uint64_t key, IoStats*) const {
+  if (key >= values_.size()) return KeyOutOfRange(key, values_.size());
+  return values_[key];
+}
+
+Status DenseStore::DoFetchBatch(std::span<const uint64_t> keys,
+                                std::span<double> out, IoStats*) const {
   for (size_t i = 0; i < keys.size(); ++i) {
-    WB_CHECK_LT(keys[i], values_.size()) << "key outside dense store capacity";
+    if (keys[i] >= values_.size()) {
+      return KeyOutOfRange(keys[i], values_.size());
+    }
     out[i] = values_[keys[i]];
   }
+  return Status::OK();
 }
 
 uint64_t DenseStore::NumNonZero() const {

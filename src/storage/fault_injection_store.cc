@@ -1,0 +1,96 @@
+#include "storage/fault_injection_store.h"
+
+#include <string>
+#include <thread>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+FaultInjectionStore::FaultInjectionStore(
+    std::unique_ptr<CoefficientStore> inner, FaultInjectionOptions options)
+    : owned_(std::move(inner)), inner_(owned_.get()), options_(options) {
+  WB_CHECK(inner_ != nullptr);
+}
+
+FaultInjectionStore::FaultInjectionStore(CoefficientStore* inner,
+                                         FaultInjectionOptions options)
+    : inner_(inner), options_(options) {
+  WB_CHECK(inner_ != nullptr);
+}
+
+void FaultInjectionStore::FailKey(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_keys_.insert(key);
+}
+
+void FaultInjectionStore::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_keys_.clear();
+  options_.fail_every_n = 0;
+  options_.fail_at_fetch = 0;
+}
+
+uint64_t FaultInjectionStore::fetch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fetch_count_;
+}
+
+uint64_t FaultInjectionStore::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
+}
+
+Status FaultInjectionStore::CheckOneLocked(uint64_t key) const {
+  const uint64_t ordinal = ++fetch_count_;
+  if (failed_keys_.count(key) != 0) {
+    ++injected_failures_;
+    return Status::Unavailable("injected fault: key " + std::to_string(key) +
+                               " is failed until Heal()");
+  }
+  if (options_.fail_at_fetch != 0 && ordinal == options_.fail_at_fetch) {
+    options_.fail_at_fetch = 0;  // one-shot: self-heals after firing
+    ++injected_failures_;
+    return Status::Unavailable("injected fault: one-shot fault at fetch " +
+                               std::to_string(ordinal));
+  }
+  if (options_.fail_every_n != 0 && ordinal % options_.fail_every_n == 0) {
+    ++injected_failures_;
+    return Status::Unavailable("injected fault: fetch " +
+                               std::to_string(ordinal) + " (every " +
+                               std::to_string(options_.fail_every_n) + "th)");
+  }
+  return Status::OK();
+}
+
+void FaultInjectionStore::InjectLatency() const {
+  if (options_.latency.count() > 0) {
+    std::this_thread::sleep_for(options_.latency);
+  }
+}
+
+Result<double> FaultInjectionStore::DoFetch(uint64_t key, IoStats* io) const {
+  InjectLatency();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status status = CheckOneLocked(key);
+    if (!status.ok()) return status;
+  }
+  return DelegateFetch(*inner_, key, io);
+}
+
+Status FaultInjectionStore::DoFetchBatch(std::span<const uint64_t> keys,
+                                         std::span<double> out,
+                                         IoStats* io) const {
+  InjectLatency();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t key : keys) {
+      Status status = CheckOneLocked(key);
+      if (!status.ok()) return status;
+    }
+  }
+  return DelegateFetchBatch(*inner_, keys, out, io);
+}
+
+}  // namespace wavebatch

@@ -1,0 +1,111 @@
+#ifndef WAVEBATCH_STORAGE_FAULT_INJECTION_STORE_H_
+#define WAVEBATCH_STORAGE_FAULT_INJECTION_STORE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "storage/coefficient_store.h"
+
+namespace wavebatch {
+
+/// Deterministic fault schedule for a FaultInjectionStore. All counts are
+/// 1-based over *counted* fetches (Fetch and each key of FetchBatch, in
+/// batch order); 0 disables a rule.
+struct FaultInjectionOptions {
+  /// Fail every Nth counted fetch. The counter keeps advancing when a fault
+  /// fires, so an immediate retry of the same key succeeds — this models a
+  /// transient (retryable) fault.
+  uint64_t fail_every_n = 0;
+  /// Fail exactly the Nth counted fetch, then self-heal. Models a one-shot
+  /// transient fault at a known point in a progression.
+  uint64_t fail_at_fetch = 0;
+  /// Injected latency per counted call (scalar fetch or batch), applied on
+  /// the calling thread before the read. Models slow media; useful for
+  /// exercising timeout/retry behavior in benchmarks.
+  std::chrono::microseconds latency{0};
+};
+
+/// Decorator that injects faults into another store's counted read path —
+/// the test double behind the fault matrix (every backend × every fault
+/// shape). Peek, Add, and the scan entry points pass through untouched:
+/// faults only ever hit the paper's counted retrievals, which is exactly
+/// the path the engine must survive.
+///
+/// Injected failures surface as Status::Unavailable, the code retry logic
+/// treats as transient. Rules compose: a key failed via FailKey() stays
+/// failed until Heal() (a permanent fault); the schedule-based rules in
+/// FaultInjectionOptions are transient by construction. A faulted fetch
+/// charges nothing (the wrapper only counts successes) and never reaches
+/// the inner backend.
+///
+/// Thread-safe like any store: the fault state is guarded by a mutex, so
+/// concurrent sessions see one global fetch ordinal (the schedule is
+/// deterministic only under a single-threaded caller).
+class FaultInjectionStore : public CoefficientStore {
+ public:
+  /// Owning wrap.
+  FaultInjectionStore(std::unique_ptr<CoefficientStore> inner,
+                      FaultInjectionOptions options = FaultInjectionOptions());
+
+  /// Non-owning wrap: `inner` must outlive this store. Handy for injecting
+  /// faults into a store another component still holds.
+  FaultInjectionStore(CoefficientStore* inner,
+                      FaultInjectionOptions options = FaultInjectionOptions());
+
+  /// Makes every fetch of `key` fail (permanent fault) until Heal().
+  void FailKey(uint64_t key);
+
+  /// Clears all configured faults: failed keys, fail_every_n, and any
+  /// pending fail_at_fetch. Latency is left in place (it is not a fault).
+  void Heal();
+
+  /// Counted fetches seen so far (successful or faulted).
+  uint64_t fetch_count() const;
+
+  /// Faults fired so far.
+  uint64_t injected_failures() const;
+
+  double Peek(uint64_t key) const override { return inner_->Peek(key); }
+  void Add(uint64_t key, double delta) override { inner_->Add(key, delta); }
+  uint64_t NumNonZero() const override { return inner_->NumNonZero(); }
+  double SumAbs() const override { return inner_->SumAbs(); }
+  void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const override {
+    inner_->ForEachNonZero(fn);
+  }
+  std::string name() const override { return "faulty(" + inner_->name() + ")"; }
+
+ protected:
+  Result<double> DoFetch(uint64_t key, IoStats* io) const override;
+
+  /// Evaluates the fault schedule per key in batch order; the first faulted
+  /// key fails the whole batch (all-or-nothing, `out` unspecified) but the
+  /// ordinals of the keys up to and including it are consumed — so a
+  /// retried batch replays against fresh ordinals, and fail_every_n lets it
+  /// through.
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
+
+ private:
+  /// Advances the fetch ordinal for `key` and returns the injected fault,
+  /// if any fires. Caller must hold mu_.
+  Status CheckOneLocked(uint64_t key) const;
+
+  void InjectLatency() const;
+
+  std::unique_ptr<CoefficientStore> owned_;
+  CoefficientStore* inner_;
+
+  mutable std::mutex mu_;
+  mutable FaultInjectionOptions options_;
+  mutable std::unordered_set<uint64_t> failed_keys_;
+  mutable uint64_t fetch_count_ = 0;
+  mutable uint64_t injected_failures_ = 0;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_FAULT_INJECTION_STORE_H_

@@ -1,13 +1,26 @@
 #ifndef WAVEBATCH_STORAGE_FILE_STORE_H_
 #define WAVEBATCH_STORAGE_FILE_STORE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/coefficient_store.h"
 #include "util/status.h"
 
 namespace wavebatch {
+
+/// Knobs for the counted read path. Transient failures (EINTR, EAGAIN, and
+/// flaky-media errno like EIO) are retried with linear backoff before the
+/// fetch gives up and reports a Status; short reads are not failures at all
+/// (the read simply continues where it stopped).
+struct FileStoreOptions {
+  /// Total attempts per positioned read before the error is reported.
+  int max_read_attempts = 3;
+  /// Sleep between attempts, multiplied by the attempt number.
+  std::chrono::microseconds retry_backoff{100};
+};
 
 /// A coefficient store backed by a binary file on disk — the paper's
 /// "stored with reasonable random-access cost" made literal. The file is a
@@ -20,6 +33,11 @@ namespace wavebatch {
 /// thread-safe on one descriptor). Retrievals are still counted per
 /// coefficient — coalescing changes syscalls, not the paper's cost model.
 ///
+/// The counted path (Fetch/FetchBatch) is fault-tolerant: unexpected EOF,
+/// exhausted retries, and out-of-capacity keys come back as a non-OK
+/// Status. Peek remains the trusted uncounted path and aborts on
+/// corruption.
+///
 /// This is the reference implementation for measuring real random-access
 /// behavior; production deployments would add a buffer pool (compose with
 /// BlockStore for the simulated version).
@@ -27,11 +45,13 @@ class FileStore : public CoefficientStore {
  public:
   /// Creates (truncates) `path` holding `values` and opens a store on it.
   static Result<std::unique_ptr<FileStore>> Create(
-      const std::string& path, const std::vector<double>& values);
+      const std::string& path, const std::vector<double>& values,
+      FileStoreOptions options = FileStoreOptions());
 
   /// Opens an existing store file; capacity is derived from the file size
   /// (must be a multiple of sizeof(double)).
-  static Result<std::unique_ptr<FileStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<FileStore>> Open(
+      const std::string& path, FileStoreOptions options = FileStoreOptions());
 
   ~FileStore() override;
 
@@ -48,10 +68,12 @@ class FileStore : public CoefficientStore {
 
   uint64_t capacity() const { return capacity_; }
   const std::string& path() const { return path_; }
+  const FileStoreOptions& options() const { return options_; }
 
  protected:
-  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
-                    IoStats* io) const override;
+  Result<double> DoFetch(uint64_t key, IoStats* io) const override;
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
 
  private:
   /// One coalesced read covering file keys [first_key, last_key]; `targets`
@@ -63,17 +85,27 @@ class FileStore : public CoefficientStore {
     size_t targets_end;
   };
 
-  /// Reads `run` with a single pread and scatters into `out` via `order`
-  /// (indices into keys/out, sorted by key).
-  void ReadRun(const Run& run, std::span<const uint64_t> keys,
-               std::span<const size_t> order, std::span<double> out) const;
+  /// Reads exactly `len` bytes at `offset`, looping on short reads and
+  /// retrying transient errors per `options_`. Distinguishes unexpected
+  /// EOF (pread returning 0) from read errors in the Status message.
+  Status PreadFully(void* buf, size_t len, uint64_t offset) const;
 
-  FileStore(std::string path, int fd, uint64_t capacity)
-      : path_(std::move(path)), fd_(fd), capacity_(capacity) {}
+  /// Reads `run` with one coalesced positioned read and scatters into `out`
+  /// via `order` (indices into keys/out, sorted by key).
+  Status ReadRun(const Run& run, std::span<const uint64_t> keys,
+                 std::span<const size_t> order, std::span<double> out) const;
+
+  FileStore(std::string path, int fd, uint64_t capacity,
+            FileStoreOptions options)
+      : path_(std::move(path)),
+        fd_(fd),
+        capacity_(capacity),
+        options_(options) {}
 
   std::string path_;
   int fd_;
   uint64_t capacity_;
+  FileStoreOptions options_;
 };
 
 }  // namespace wavebatch

@@ -23,12 +23,13 @@ void HashStore::Add(uint64_t key, double delta) {
   }
 }
 
-void HashStore::DoFetchBatch(std::span<const uint64_t> keys,
-                             std::span<double> out, IoStats*) const {
+Status HashStore::DoFetchBatch(std::span<const uint64_t> keys,
+                               std::span<double> out, IoStats*) const {
   for (size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     out[i] = it == map_.end() ? 0.0 : it->second;
   }
+  return Status::OK();
 }
 
 uint64_t HashStore::NumNonZero() const { return map_.size(); }

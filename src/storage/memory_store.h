@@ -32,8 +32,9 @@ class HashStore : public CoefficientStore {
  protected:
   /// Single-probe loop straight on the hash map (skips per-key virtual
   /// dispatch; constant-time probes don't benefit from reordering).
-  void DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
-                    IoStats* io) const override;
+  /// Infallible: absent keys read as 0.
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
 
  private:
   std::unordered_map<uint64_t, double> map_;

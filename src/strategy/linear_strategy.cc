@@ -15,7 +15,8 @@ Result<double> LinearStrategy::AnswerQuery(const RangeSumQuery& query,
   keys.reserve(coeffs->size());
   for (const SparseEntry& e : *coeffs) keys.push_back(e.key);
   std::vector<double> values(keys.size());
-  store.FetchBatch(keys, values, io);
+  Status status = store.FetchBatch(keys, values, io);
+  if (!status.ok()) return status;
   double acc = 0.0;
   for (size_t i = 0; i < coeffs->size(); ++i) {
     acc += (*coeffs)[i].value * values[i];

@@ -1,0 +1,42 @@
+#ifndef WAVEBATCH_UTIL_FINGERPRINT_H_
+#define WAVEBATCH_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace wavebatch {
+namespace fingerprint {
+
+/// Byte-exact fingerprint building blocks shared by PlanCache and
+/// PenaltyFunction::Fingerprint(). Values are appended as raw little-endian
+/// bytes; the resulting strings are compared for equality only (they are
+/// cache keys, not hashes).
+
+inline void AppendU64(std::string& s, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  s.append(buf, sizeof(v));
+}
+
+/// Appends the bit pattern of `v`, normalizing -0.0 to +0.0 first: the two
+/// zeros compare equal everywhere a coefficient is used, so they must
+/// fingerprint identically or equal batches would miss the cache.
+inline void AppendF64(std::string& s, double v) {
+  if (v == 0.0) v = 0.0;  // collapses -0.0 onto +0.0
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(s, bits);
+}
+
+/// Appends a length-prefixed string, so adjacent variable-length fields can
+/// never alias each other's bytes.
+inline void AppendString(std::string& s, const std::string& v) {
+  AppendU64(s, v.size());
+  s += v;
+}
+
+}  // namespace fingerprint
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_FINGERPRINT_H_

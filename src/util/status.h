@@ -22,6 +22,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// A transient failure (injected fault, flaky I/O): retrying the same
+  /// operation may succeed.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -118,6 +124,24 @@ class Result {
   std::optional<T> value_;
 };
 
+namespace internal_status {
+inline const Status& GetStatus(const Status& s) { return s; }
+template <typename T>
+const Status& GetStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal_status
+
 }  // namespace wavebatch
+
+/// Aborts with the status's diagnostic when `expr` (a Status or Result) is
+/// not OK. For callers that treat a fallible operation as infallible —
+/// tests, benches, and the legacy crash-on-error evaluators.
+#define WB_CHECK_OK(expr)                                            \
+  do {                                                               \
+    auto&& wb_check_ok_value = (expr);                               \
+    WB_CHECK(wb_check_ok_value.ok())                                 \
+        << ::wavebatch::internal_status::GetStatus(wb_check_ok_value); \
+  } while (0)
 
 #endif  // WAVEBATCH_UTIL_STATUS_H_

@@ -221,7 +221,11 @@ TEST(EngineConcurrencyTest, PlanCacheSharedAcrossThreads) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(cache.hits() + cache.misses(), kNumThreads);
-  EXPECT_GE(cache.hits(), kNumThreads - cache.size());
+  // Any number of threads may race past the lookup before the first insert
+  // and build concurrently (by design: planning happens outside the lock),
+  // so the hit count is scheduling-dependent — only the first touch is
+  // guaranteed to miss.
+  EXPECT_GE(cache.misses(), 1u);
   // Whatever mix of hits/races happened, the cache now serves one plan.
   Result<std::shared_ptr<const EvalPlan>> final_plan =
       cache.GetOrBuild(f.batch, strategy, f.sse);

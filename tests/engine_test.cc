@@ -120,7 +120,7 @@ TEST_P(EngineOrderTest, GoldenAgainstLegacyEvaluatorOnEveryBackend) {
     while (!session.Done()) {
       EXPECT_EQ(session.NextImportance(), legacy.NextImportance()) << name;
       const size_t n = batch_sizes[bi++ % std::size(batch_sizes)];
-      const size_t taken = session.StepBatch(n);
+      const size_t taken = session.StepBatch(n).value();
       EXPECT_EQ(taken, legacy.StepBatch(n)) << name;
       ASSERT_EQ(session.StepsTaken(), legacy.StepsTaken()) << name;
       for (size_t q = 0; q < f.batch.size(); ++q) {
@@ -131,6 +131,9 @@ TEST_P(EngineOrderTest, GoldenAgainstLegacyEvaluatorOnEveryBackend) {
       EXPECT_EQ(session.ExpectedPenalty(f.schema.cell_count()),
                 legacy.ExpectedPenalty(f.schema.cell_count()))
           << name;
+      // Invariant: the remaining importance mass is clamped, so the
+      // Theorem-2 tracker can never report a negative expected penalty.
+      EXPECT_GE(session.ExpectedPenalty(f.schema.cell_count()), 0.0) << name;
       EXPECT_EQ(session.io(), legacy.io()) << name;
     }
     EXPECT_TRUE(legacy.Done());
@@ -151,7 +154,7 @@ TEST_P(EngineOrderTest, ScalarStepsMatchLegacyEntryForEntry) {
   opts.seed = 17;
   EvalSession session(f.plan, UnownedStore(*f.store), opts);
   while (!session.Done()) {
-    EXPECT_EQ(session.Step(), legacy.Step());
+    EXPECT_EQ(session.Step().value(), legacy.Step());
   }
   EXPECT_TRUE(legacy.Done());
   EXPECT_EQ(session.io(), legacy.io());
@@ -198,7 +201,7 @@ TEST(EngineSessionTest, KeyOrderRunToExactMatchesEvaluateShared) {
   EvalSession::Options opts;
   opts.order = ProgressionOrder::kKeyOrder;
   EvalSession session(f.plan, UnownedStore(*f.store), opts);
-  session.RunToExact();
+  ASSERT_TRUE(session.RunToExact().ok());
   ASSERT_EQ(session.Estimates().size(), shared.results.size());
   for (size_t q = 0; q < shared.results.size(); ++q) {
     EXPECT_EQ(session.Estimates()[q], shared.results[q]);
@@ -215,7 +218,7 @@ TEST(EngineSessionTest, PenaltyFreePlanRunsExactOnly) {
   EvalSession::Options opts;
   opts.order = ProgressionOrder::kKeyOrder;
   EvalSession session(plan, UnownedStore(*f.store), opts);
-  session.RunToExact();
+  ASSERT_TRUE(session.RunToExact().ok());
   for (size_t i = 0; i < f.exact.size(); ++i) {
     EXPECT_NEAR(session.Estimates()[i], f.exact[i],
                 1e-6 * (1.0 + std::abs(f.exact[i])));
@@ -236,7 +239,8 @@ TEST(EngineSessionTest, BlockModeGoldenAgainstLegacyBlockEvaluator) {
     while (!session.Done()) {
       EXPECT_EQ(session.NextBlockImportance(), legacy.NextBlockImportance())
           << name;
-      EXPECT_EQ(session.StepBlock(), legacy.StepBlock()) << name;
+      EXPECT_EQ(session.StepBlock().value(), legacy.StepBlock()) << name;
+      EXPECT_GE(session.ExpectedPenalty(f.schema.cell_count()), 0.0) << name;
       EXPECT_EQ(session.BlocksFetched(), legacy.BlocksFetched()) << name;
       EXPECT_EQ(session.CoefficientsFetched(), legacy.CoefficientsFetched())
           << name;
@@ -262,7 +266,7 @@ TEST(EngineBoundedTest, GoldenAgainstLegacyBoundedWorkspace) {
     BoundedWorkspaceResult legacy =
         EvaluateWithBoundedWorkspace(f.batch, strategy, *f.store, budget);
     BoundedRunResult engine =
-        RunWithBoundedWorkspace(f.batch, strategy, *f.store, budget);
+        RunWithBoundedWorkspace(f.batch, strategy, *f.store, budget).value();
     ASSERT_EQ(engine.results.size(), legacy.results.size());
     for (size_t q = 0; q < legacy.results.size(); ++q) {
       EXPECT_EQ(engine.results[q], legacy.results[q]) << "budget " << budget;
@@ -293,7 +297,7 @@ TEST(EngineSessionTest, SessionOutlivesCreatingScope) {
     // penalty, plan, store, strategy all go out of scope here; the session
     // holds what it needs alive.
   }
-  session->RunToExact();
+  ASSERT_TRUE(session->RunToExact().ok());
   ASSERT_EQ(session->Estimates().size(), num_queries);
   for (size_t i = 0; i < exact.size(); ++i) {
     EXPECT_NEAR(session->Estimates()[i], exact[i],
@@ -306,10 +310,10 @@ TEST(EngineSessionTest, ConcurrentSessionsShareOnePlan) {
   Fixture f;
   EvalSession a(f.plan, UnownedStore(*f.store));
   EvalSession b(f.plan, UnownedStore(*f.store));
-  a.StepMany(5);
+  ASSERT_TRUE(a.StepMany(5).ok());
   EXPECT_EQ(a.StepsTaken(), 5u);
   EXPECT_EQ(b.StepsTaken(), 0u);
-  b.RunToExact();
+  ASSERT_TRUE(b.RunToExact().ok());
   EXPECT_FALSE(a.Done());
   EXPECT_TRUE(b.Done());
   EXPECT_EQ(a.io().retrievals, 5u);
@@ -331,19 +335,35 @@ TEST(EnginePlanCacheTest, HitsReturnTheSamePlan) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
-TEST(EnginePlanCacheTest, PenaltyIdentityChangesTheKey) {
-  // Two penalties of the same *type* (and name) are distinct plans — the
-  // cache must never serve a plan ordered under a different penalty object.
+TEST(EnginePlanCacheTest, PenaltyContentDeterminesTheKey) {
+  // The key encodes the penalty's *content*: a second penalty object with
+  // identical parameters ranks coefficients identically, so it shares the
+  // cached plan; a penalty with different parameters (even the same type
+  // and name) must miss.
   Fixture f;
   WaveletStrategy strategy(f.schema, WaveletKind::kHaar);
   PlanCache cache(8);
-  auto other = std::make_shared<SsePenalty>();
+  auto same_content = std::make_shared<SsePenalty>();
   auto a = cache.GetOrBuild(f.batch, strategy, f.sse);
-  auto b = cache.GetOrBuild(f.batch, strategy, other);
+  auto b = cache.GetOrBuild(f.batch, strategy, same_content);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_NE(a.value().get(), b.value().get());
-  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const size_t s = f.batch.size();
+  auto uniform =
+      std::make_shared<WeightedSsePenalty>(std::vector<double>(s, 1.0));
+  std::vector<double> skewed(s, 1.0);
+  skewed[0] = 2.0;
+  auto reweighted = std::make_shared<WeightedSsePenalty>(std::move(skewed));
+  auto c = cache.GetOrBuild(f.batch, strategy, uniform);
+  auto d = cache.GetOrBuild(f.batch, strategy, reweighted);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(c.value().get(), d.value().get());
+  EXPECT_EQ(cache.misses(), 3u);
 }
 
 TEST(EnginePlanCacheTest, BatchShapeChangesTheKey) {
@@ -386,8 +406,8 @@ TEST(EngineSessionTest, CachedPlanAnswersSameAsFreshPlan) {
   ASSERT_TRUE(cached.ok());
   EvalSession from_cache(*cached, UnownedStore(*f.store));
   EvalSession fresh(f.plan, UnownedStore(*f.store));
-  from_cache.RunToExact();
-  fresh.RunToExact();
+  ASSERT_TRUE(from_cache.RunToExact().ok());
+  ASSERT_TRUE(fresh.RunToExact().ok());
   for (size_t q = 0; q < f.batch.size(); ++q) {
     EXPECT_EQ(from_cache.Estimates()[q], fresh.Estimates()[q]);
   }

@@ -1,5 +1,7 @@
 #include "storage/file_store.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -63,9 +65,51 @@ TEST_F(FileStoreTest, FetchCountsIo) {
       FileStore::Create(path_, {1.0, 2.0});
   ASSERT_TRUE(store.ok());
   IoStats io;
-  (*store)->Fetch(0, &io);
-  (*store)->Fetch(1, &io);
+  EXPECT_TRUE((*store)->Fetch(0, &io).ok());
+  EXPECT_TRUE((*store)->Fetch(1, &io).ok());
   EXPECT_EQ(io.retrievals, 2u);
+}
+
+TEST_F(FileStoreTest, FetchOutOfCapacityIsStatusNotAbort) {
+  Result<std::unique_ptr<FileStore>> store =
+      FileStore::Create(path_, {1.0, 2.0});
+  ASSERT_TRUE(store.ok());
+  IoStats io;
+  Result<double> value = (*store)->Fetch(2, &io);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(io.retrievals, 0u);
+
+  std::vector<uint64_t> keys = {0, 2};
+  std::vector<double> out(keys.size());
+  Status status = (*store)->FetchBatch(keys, out, &io);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(io.retrievals, 0u);
+}
+
+TEST_F(FileStoreTest, TruncatedFileReportsUnexpectedEofNotShortRead) {
+  // A file shorter than the store's capacity claims: pread returns 0 at the
+  // hole. That is not a retryable read error — the fetch must come back as
+  // a Status naming the EOF, not spin on retries or abort.
+  Result<std::unique_ptr<FileStore>> store =
+      FileStore::Create(path_, std::vector<double>(16, 1.0));
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(::truncate(path_.c_str(), 8 * sizeof(double)), 0);
+
+  Result<double> value = (*store)->Fetch(12);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(value.status().message().find("unexpected EOF"),
+            std::string::npos)
+      << value.status();
+
+  // Batched reads hit the same hole through the coalesced-run path.
+  std::vector<uint64_t> keys = {0, 12};
+  std::vector<double> out(keys.size());
+  Status status = (*store)->FetchBatch(keys, out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
 }
 
 TEST_F(FileStoreTest, ForEachNonZeroScansEverything) {
@@ -110,7 +154,7 @@ TEST_F(FileStoreTest, FetchBatchMatchesScalarLoop) {
   for (const std::vector<uint64_t>& keys : batches) {
     IoStats io;
     std::vector<double> out(keys.size(), -1.0);
-    (*store)->FetchBatch(keys, out, &io);
+    ASSERT_TRUE((*store)->FetchBatch(keys, out, &io).ok());
     EXPECT_EQ(io.retrievals, keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
       EXPECT_EQ(out[i], values[keys[i]]) << "key " << keys[i];

@@ -44,8 +44,8 @@ TEST(HashStoreTest, FetchCountsRetrievalsIntoSink) {
   HashStore store;
   store.Add(1, 2.0);
   IoStats io;
-  EXPECT_DOUBLE_EQ(store.Fetch(1, &io), 2.0);
-  EXPECT_DOUBLE_EQ(store.Fetch(5, &io), 0.0);  // absent fetches still cost
+  EXPECT_DOUBLE_EQ(store.Fetch(1, &io).value(), 2.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(5, &io).value(), 0.0);  // absent still costs
   EXPECT_EQ(io.retrievals, 2u);
 }
 
@@ -54,7 +54,7 @@ TEST(HashStoreTest, FetchWithoutSinkIsUncounted) {
   // and separate sinks never see each other's traffic.
   HashStore store;
   store.Add(1, 2.0);
-  EXPECT_DOUBLE_EQ(store.Fetch(1), 2.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(1).value(), 2.0);
   IoStats io;
   store.Fetch(1, &io);
   EXPECT_EQ(io.retrievals, 1u);
@@ -96,10 +96,33 @@ TEST(DenseStoreTest, AddPeekFetch) {
   store.Add(3, 1.5);
   EXPECT_DOUBLE_EQ(store.Peek(3), 3.0);
   IoStats io;
-  EXPECT_DOUBLE_EQ(store.Fetch(3, &io), 3.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(3, &io).value(), 3.0);
   EXPECT_EQ(io.retrievals, 1u);
   EXPECT_EQ(store.NumNonZero(), 1u);
   EXPECT_DOUBLE_EQ(store.SumAbs(), 3.0);
+}
+
+TEST(DenseStoreTest, FetchOutOfCapacityIsStatusNotAbort) {
+  DenseStore store(8);
+  IoStats io;
+  Result<double> value = store.Fetch(8, &io);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kOutOfRange);
+  // A failed fetch retrieved nothing, so it charges nothing.
+  EXPECT_EQ(io.retrievals, 0u);
+}
+
+TEST(DenseStoreTest, FetchBatchOutOfCapacityChargesNothing) {
+  DenseStore store(8);
+  store.Add(2, 1.0);
+  std::vector<uint64_t> keys = {2, 99};
+  std::vector<double> out(keys.size());
+  IoStats io;
+  Status status = store.FetchBatch(keys, out, &io);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  // All-or-nothing: even the in-range key is uncharged.
+  EXPECT_EQ(io.retrievals, 0u);
 }
 
 TEST(DenseStoreTest, BulkLoadValues) {
@@ -183,7 +206,7 @@ TEST(BlockStoreTest, LruSharedAcrossSinks) {
 TEST(BlockStoreTest, DelegatesValuesAndUpdates) {
   BlockStore store(MakeInner(), 8, 2);
   EXPECT_DOUBLE_EQ(store.Peek(5), 6.0);
-  EXPECT_DOUBLE_EQ(store.Fetch(5), 6.0);
+  EXPECT_DOUBLE_EQ(store.Fetch(5).value(), 6.0);
   store.Add(5, 1.0);
   EXPECT_DOUBLE_EQ(store.Peek(5), 7.0);
   EXPECT_EQ(store.NumNonZero(), 64u);
@@ -202,9 +225,9 @@ void ExpectBatchMatchesScalar(CoefficientStore& batch_store,
                               const std::vector<uint64_t>& keys) {
   IoStats batch_io, scalar_io;
   std::vector<double> batched(keys.size());
-  batch_store.FetchBatch(keys, batched, &batch_io);
+  ASSERT_TRUE(batch_store.FetchBatch(keys, batched, &batch_io).ok());
   for (size_t i = 0; i < keys.size(); ++i) {
-    EXPECT_EQ(batched[i], scalar_store.Fetch(keys[i], &scalar_io))
+    EXPECT_EQ(batched[i], scalar_store.Fetch(keys[i], &scalar_io).value())
         << "key " << keys[i];
   }
   EXPECT_EQ(batch_io.retrievals, scalar_io.retrievals);
@@ -266,6 +289,23 @@ TEST(FetchBatchTest, BlockStoreBatchStillHitsWarmCache) {
   // Block 0 is a (single) hit, block 1 a (single) read.
   EXPECT_EQ(io.block_reads, 2u);  // initial Fetch + block 1
   EXPECT_EQ(io.block_hits, 1u);
+}
+
+TEST(BlockStoreTest, FailedInnerFetchTouchesNoCountersOrCache) {
+  // Dense inner with capacity 8: key 99 fails. The failed fetch must not
+  // warm the LRU, count a block read, or charge a retrieval.
+  BlockStore store(std::make_unique<DenseStore>(8), /*block_size=*/8,
+                   /*cache_blocks=*/4);
+  IoStats io;
+  Result<double> value = store.Fetch(99, &io);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(io, IoStats{});
+
+  std::vector<uint64_t> keys = {0, 99};
+  std::vector<double> out(keys.size());
+  EXPECT_FALSE(store.FetchBatch(keys, out, &io).ok());
+  EXPECT_EQ(io, IoStats{});
 }
 
 TEST(FetchBatchTest, DuplicateKeysEachCountAsRetrieval) {
