@@ -88,6 +88,7 @@ int Main(int argc, char** argv) {
 
   const std::string csv = flags.Str("csv", "");
   if (!csv.empty() && !table.WriteCsv(csv)) return 1;
+  if (!WriteMetricsOut(flags)) return 1;
   return 0;
 }
 

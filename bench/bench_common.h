@@ -19,6 +19,8 @@
 #include "data/generators.h"
 #include "data/workloads.h"
 #include "strategy/wavelet_strategy.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "util/stopwatch.h"
 
 namespace wavebatch::bench {
@@ -203,7 +205,33 @@ inline const std::string kCommonFlagsHelp =
     "  --seed=N      data seed (default 42)\n"
     "  --lat_parts= --lon_parts= --alt_parts= --time_parts=\n"
     "                partition grid (default 32x16 = 512 ranges)\n"
-    "  --csv=path    also write the series as CSV\n";
+    "  --csv=path    also write the series as CSV\n"
+    "  --metrics_out=path\n"
+    "                dump the telemetry registry (store/engine counters,\n"
+    "                latency histograms) as Prometheus text at exit\n";
+
+/// Writes the process telemetry registry as Prometheus text to
+/// --metrics_out=path, if the flag was given. Call at the end of a run so
+/// the counters cover the whole experiment. Returns false only on an I/O
+/// error for a requested path.
+inline bool WriteMetricsOut(const Flags& flags) {
+  const std::string path = flags.Str("metrics_out", "");
+  if (path.empty()) return true;
+  const std::string text = telemetry::ExportPrometheus();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "failed to open --metrics_out=" << path << std::endl;
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (ok) {
+    std::cerr << "wrote " << path << " ("
+              << telemetry::MetricsRegistry::Default().NumMetrics()
+              << " metric series)" << std::endl;
+  }
+  return ok;
+}
 
 }  // namespace wavebatch::bench
 

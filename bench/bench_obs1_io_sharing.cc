@@ -134,6 +134,7 @@ int Main(int argc, char** argv) {
     std::cerr << "failed to write json report" << std::endl;
     return 1;
   }
+  if (!WriteMetricsOut(flags)) return 1;
   return 0;
 }
 

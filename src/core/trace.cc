@@ -9,6 +9,7 @@ Table ProgressionTrace::ToTable() const {
   headers.push_back("max_rel_err");
   if (has_bounds_) headers.push_back("worst_case_bound");
   if (has_expected_) headers.push_back("expected_penalty");
+  if (has_skipped_) headers.push_back("skipped_importance");
   Table table(std::move(headers));
   for (const Point& pt : points_) {
     std::vector<std::string> row = {std::to_string(pt.retrieved)};
@@ -17,6 +18,7 @@ Table ProgressionTrace::ToTable() const {
     row.push_back(FormatDouble(pt.max_relative_error));
     if (has_bounds_) row.push_back(FormatDouble(pt.worst_case_bound));
     if (has_expected_) row.push_back(FormatDouble(pt.expected_penalty));
+    if (has_skipped_) row.push_back(FormatDouble(pt.skipped_importance));
     table.AddRow(std::move(row));
   }
   return table;

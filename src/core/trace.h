@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/progressive.h"
@@ -30,6 +32,10 @@ class ProgressionTrace {
     double worst_case_bound;
     /// Theorem 2 expected penalty at this step (evaluator's own penalty).
     double expected_penalty;
+    /// Σ ι_p over coefficients consumed without data — filled only when the
+    /// evaluator is a degraded-mode session (FaultPolicy::kSkip); shows how
+    /// much of the error decay is lost to faults rather than progression.
+    double skipped_importance = 0.0;
   };
 
   /// A named penalty under which the error vector is measured; `penalty`
@@ -64,6 +70,14 @@ class ProgressionTrace {
     ProgressionTrace trace;
     trace.has_bounds_ = k_sum_abs > 0.0;
     trace.has_expected_ = domain_cells > 0;
+    // Structural detection instead of naming EvalSession: core/ cannot see
+    // engine/ headers, but any evaluator exposing SkippedImportance() and a
+    // fault policy in its options (i.e. an engine session) gets the column
+    // when it actually runs degraded.
+    if constexpr (HasSkippedImportance<Evaluator>) {
+      using Policy = std::decay_t<decltype(evaluator.options().fault_policy)>;
+      trace.has_skipped_ = evaluator.options().fault_policy == Policy::kSkip;
+    }
     for (const Measure& m : measures) {
       WB_CHECK(m.penalty != nullptr);
       WB_CHECK_NE(m.normalizer, 0.0);
@@ -100,6 +114,14 @@ class ProgressionTrace {
   Table ToTable() const;
 
  private:
+  /// Matches evaluators with degraded-mode accounting (engine EvalSession):
+  /// a SkippedImportance() reading and a fault policy in their options.
+  template <typename Evaluator>
+  static constexpr bool HasSkippedImportance = requires(const Evaluator& e) {
+    { e.SkippedImportance() } -> std::convertible_to<double>;
+    e.options().fault_policy;
+  };
+
   template <typename Evaluator>
   static Point MeasurePoint(const Evaluator& evaluator,
                             std::span<const double> exact,
@@ -132,6 +154,9 @@ class ProgressionTrace {
         k_sum_abs > 0.0 ? evaluator.WorstCaseBound(k_sum_abs) : 0.0;
     pt.expected_penalty =
         domain_cells > 0 ? evaluator.ExpectedPenalty(domain_cells) : 0.0;
+    if constexpr (HasSkippedImportance<Evaluator>) {
+      pt.skipped_importance = evaluator.SkippedImportance();
+    }
     return pt;
   }
 
@@ -139,6 +164,7 @@ class ProgressionTrace {
   std::vector<Point> points_;
   bool has_bounds_ = false;
   bool has_expected_ = false;
+  bool has_skipped_ = false;
 };
 
 }  // namespace wavebatch

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/span.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -12,6 +13,7 @@ namespace wavebatch {
 Result<std::shared_ptr<const EvalPlan>> EvalPlan::Build(
     const QueryBatch& batch, const LinearStrategy& strategy,
     std::shared_ptr<const PenaltyFunction> penalty) {
+  telemetry::ScopedSpan span("plan_build");
   Result<MasterList> list = MasterList::Build(batch, strategy);
   if (!list.ok()) return list.status();
   return FromMasterList(

@@ -1,10 +1,14 @@
 #include "engine/eval_session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/check.h"
 
 namespace wavebatch {
@@ -15,6 +19,41 @@ std::shared_ptr<const CoefficientStore> UnownedStore(
       &store, [](const CoefficientStore*) {});
 }
 
+struct EvalSession::Telemetry {
+  telemetry::Labels labels;
+  telemetry::Gauge* steps_taken;
+  telemetry::Gauge* remaining_importance;
+  telemetry::Gauge* worst_case_bound;
+  telemetry::Gauge* skipped_importance;
+
+  explicit Telemetry(uint64_t session_id)
+      : labels{{"session", std::to_string(session_id)}} {
+    auto& registry = telemetry::MetricsRegistry::Default();
+    steps_taken = registry.GetGauge(
+        "wavebatch_session_steps_taken", labels,
+        "Coefficients consumed by this session so far.");
+    remaining_importance = registry.GetGauge(
+        "wavebatch_session_remaining_importance", labels,
+        "Importance mass of the not-yet-fetched tail (Theorem 2's sum).");
+    worst_case_bound = registry.GetGauge(
+        "wavebatch_session_worst_case_bound", labels,
+        "Theorem 1 worst-case penalty bound at the last WorstCaseBound().");
+    skipped_importance = registry.GetGauge(
+        "wavebatch_session_skipped_importance", labels,
+        "Importance mass consumed without data under FaultPolicy::kSkip.");
+  }
+
+  // The session is the sole creator of these series, so it may Remove()
+  // them: a finished session leaves no stale gauges in the export.
+  ~Telemetry() {
+    auto& registry = telemetry::MetricsRegistry::Default();
+    registry.Remove("wavebatch_session_steps_taken", labels);
+    registry.Remove("wavebatch_session_remaining_importance", labels);
+    registry.Remove("wavebatch_session_worst_case_bound", labels);
+    registry.Remove("wavebatch_session_skipped_importance", labels);
+  }
+};
+
 EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
                          std::shared_ptr<const CoefficientStore> store,
                          Options options)
@@ -23,6 +62,11 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
       options_(std::move(options)) {
   WB_CHECK(plan_ != nullptr);
   WB_CHECK(store_ != nullptr);
+  if (telemetry::Enabled()) {
+    static std::atomic<uint64_t> next_session_id{1};
+    telemetry_ = std::make_unique<Telemetry>(
+        next_session_id.fetch_add(1, std::memory_order_relaxed));
+  }
   estimates_.assign(plan_->num_queries(), 0.0);
   if (plan_->HasImportance()) {
     remaining_importance_ = plan_->total_importance();
@@ -53,6 +97,7 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
                 return std::make_pair(blocks_[a].importance, a) >
                        std::make_pair(blocks_[b].importance, b);
               });
+    UpdateTelemetry();
     return;
   }
 
@@ -62,6 +107,18 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
   } else {
     permutation_ = plan_->Permutation(options_.order);
   }
+  UpdateTelemetry();
+}
+
+EvalSession::~EvalSession() = default;
+EvalSession::EvalSession(EvalSession&&) noexcept = default;
+EvalSession& EvalSession::operator=(EvalSession&&) noexcept = default;
+
+void EvalSession::UpdateTelemetry() {
+  if (telemetry_ == nullptr || !telemetry::Enabled()) return;
+  telemetry_->steps_taken->Set(static_cast<double>(steps_taken_));
+  telemetry_->remaining_importance->Set(remaining_importance_);
+  telemetry_->skipped_importance->Set(skipped_importance_);
 }
 
 bool EvalSession::Done() const {
@@ -108,11 +165,13 @@ Result<size_t> EvalSession::Step() {
     if (options_.fault_policy == FaultPolicy::kFail) return data.status();
     ++steps_taken_;
     SkipEntry(entry_idx);
+    UpdateTelemetry();
     return entry_idx;
   }
   ++steps_taken_;
   ConsumeImportance(entry_idx);
   ApplyEntry(entry_idx, *data);
+  UpdateTelemetry();
   return entry_idx;
 }
 
@@ -128,6 +187,7 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
   WB_CHECK(!options_.block_of) << "StepBatch() on a block-granularity session";
   n = std::min<size_t>(n, TotalSteps() - StepsTaken());
   if (n == 0) return static_cast<size_t>(0);
+  telemetry::ScopedSpan span("session_step");
   const MasterList& list = plan_->list();
   const size_t first = steps_taken_;
   std::vector<uint64_t> keys;
@@ -154,6 +214,7 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
       ConsumeImportance(entry_idx);
       ApplyEntry(entry_idx, *value);
     }
+    UpdateTelemetry();
     return n;
   }
   steps_taken_ += n;
@@ -164,6 +225,7 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
     ConsumeImportance(entry_idx);
     ApplyEntry(entry_idx, values[i]);
   }
+  UpdateTelemetry();
   return n;
 }
 
@@ -185,6 +247,7 @@ Status EvalSession::RunToExact() {
 Result<size_t> EvalSession::StepBlock() {
   WB_CHECK(options_.block_of) << "StepBlock() on a coefficient session";
   WB_CHECK(!Done()) << "StepBlock() after completion";
+  telemetry::ScopedSpan span("session_step");
   const Block& block = blocks_[block_order_[blocks_fetched_]];
   const MasterList& list = plan_->list();
   // One batched fetch per block — on a BlockStore backend this touches the
@@ -213,6 +276,7 @@ Result<size_t> EvalSession::StepBlock() {
       ConsumeImportance(entry_idx);
       ApplyEntry(entry_idx, *value);
     }
+    UpdateTelemetry();
     return block.entries.size();
   }
   ++blocks_fetched_;
@@ -222,6 +286,7 @@ Result<size_t> EvalSession::StepBlock() {
     ConsumeImportance(block.entries[i]);
     ApplyEntry(block.entries[i], values[i]);
   }
+  UpdateTelemetry();
   return block.entries.size();
 }
 
@@ -249,8 +314,13 @@ double EvalSession::WorstCaseBound(double k_sum_abs) const {
   // Degraded runs widen the bound by the skipped mass: a coefficient we
   // could not read is bounded by K in magnitude exactly like one we have
   // not read yet, but it never leaves the unknown set.
-  return std::pow(k_sum_abs, plan_->penalty()->HomogeneityDegree()) *
-         (NextImportance() + skipped_importance_);
+  const double bound =
+      std::pow(k_sum_abs, plan_->penalty()->HomogeneityDegree()) *
+      (NextImportance() + skipped_importance_);
+  if (telemetry_ != nullptr && telemetry::Enabled()) {
+    telemetry_->worst_case_bound->Set(bound);
+  }
+  return bound;
 }
 
 double EvalSession::ExpectedPenalty(uint64_t domain_cells) const {

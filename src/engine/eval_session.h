@@ -76,8 +76,12 @@ class EvalSession {
   EvalSession(std::shared_ptr<const EvalPlan> plan,
               std::shared_ptr<const CoefficientStore> store,
               Options options = Options());
+  ~EvalSession();
+  EvalSession(EvalSession&&) noexcept;
+  EvalSession& operator=(EvalSession&&) noexcept;
 
   const EvalPlan& plan() const { return *plan_; }
+  const Options& options() const { return options_; }
   size_t num_queries() const { return plan_->num_queries(); }
   /// Total steps to exactness (= master list size).
   size_t TotalSteps() const { return plan_->size(); }
@@ -147,11 +151,21 @@ class EvalSession {
   const IoStats& io() const { return io_; }
 
  private:
+  /// Per-session telemetry gauges (steps taken, remaining importance,
+  /// current Theorem-1 bound, skipped mass), labeled by a process-unique
+  /// session id. Created only while the registry is enabled; its destructor
+  /// unregisters the gauges so finished sessions do not accumulate in the
+  /// export. Incomplete here so the header stays free of telemetry types.
+  struct Telemetry;
+
   void ApplyEntry(size_t entry_idx, double data);
   /// Moves entry_idx's importance out of the remaining (unfetched) mass.
   void ConsumeImportance(size_t entry_idx);
   /// Records entry_idx as consumed-without-data (degraded mode).
   void SkipEntry(size_t entry_idx);
+  /// Pushes the session's progress counters into its gauges (no-op when the
+  /// session was created with telemetry disabled).
+  void UpdateTelemetry();
 
   std::shared_ptr<const EvalPlan> plan_;
   std::shared_ptr<const CoefficientStore> store_;
@@ -179,6 +193,7 @@ class EvalSession {
   uint64_t skipped_coefficients_ = 0;
   double skipped_importance_ = 0.0;
   IoStats io_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace wavebatch

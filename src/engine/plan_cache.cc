@@ -2,10 +2,41 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/check.h"
 #include "util/fingerprint.h"
 
 namespace wavebatch {
+
+namespace {
+
+/// Cache traffic is aggregated across all PlanCache instances (there is
+/// normally exactly one, PlanCache::Shared()); per-instance numbers stay
+/// available via hits()/misses()/evictions().
+struct PlanCacheMetrics {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* evictions;
+};
+
+const PlanCacheMetrics& CacheMetrics() {
+  static const PlanCacheMetrics metrics = [] {
+    auto& registry = telemetry::MetricsRegistry::Default();
+    PlanCacheMetrics m;
+    m.hits = registry.GetCounter("wavebatch_plan_cache_hits_total", {},
+                                 "PlanCache lookups served from the LRU.");
+    m.misses = registry.GetCounter("wavebatch_plan_cache_misses_total", {},
+                                   "PlanCache lookups that built a plan.");
+    m.evictions =
+        registry.GetCounter("wavebatch_plan_cache_evictions_total", {},
+                            "Plans dropped off the LRU tail.");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 using fingerprint::AppendF64;
 using fingerprint::AppendString;
@@ -54,6 +85,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
 Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
     const QueryBatch& batch, const LinearStrategy& strategy,
     std::shared_ptr<const PenaltyFunction> penalty) {
+  telemetry::ScopedSpan span("plan_cache_lookup");
   const std::string key = Fingerprint(batch, strategy, penalty.get());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -61,9 +93,11 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
     if (it != by_key_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
+      CacheMetrics().hits->Add();
       return it->second->second;
     }
     ++misses_;
+    CacheMetrics().misses->Add();
   }
   // Build outside the lock: planning can be expensive and must not block
   // concurrent hits. Two threads missing the same key both build; the
@@ -83,6 +117,8 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
       if (lru_.size() > capacity_) {
         by_key_.erase(lru_.back().first);
         lru_.pop_back();
+        ++evictions_;
+        CacheMetrics().evictions->Add();
       }
     }
   }
@@ -99,6 +135,11 @@ uint64_t PlanCache::misses() const {
   return misses_;
 }
 
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
@@ -110,6 +151,7 @@ void PlanCache::Clear() {
   by_key_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 PlanCache& PlanCache::Shared() {

@@ -39,6 +39,8 @@ class PlanCache {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Entries dropped off the LRU tail since construction (or last Clear()).
+  uint64_t evictions() const;
   size_t size() const;
   void Clear();
 
@@ -57,6 +59,7 @@ class PlanCache {
   mutable std::mutex mu_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   // LRU: most recent at front.
   std::list<std::pair<std::string, std::shared_ptr<const EvalPlan>>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> by_key_;

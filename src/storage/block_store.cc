@@ -13,6 +13,13 @@ BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
       cache_blocks_(cache_blocks) {
   WB_CHECK(inner_ != nullptr);
   WB_CHECK_GT(block_size_, 0u);
+  auto& registry = telemetry::MetricsRegistry::Default();
+  block_reads_metric_ = registry.GetCounter(
+      "wavebatch_block_store_block_reads_total", {{"store", name()}},
+      "Simulated disk-block reads (LRU misses).");
+  block_hits_metric_ = registry.GetCounter(
+      "wavebatch_block_store_block_hits_total", {{"store", name()}},
+      "Block-cache hits in the LRU buffer.");
 }
 
 double BlockStore::Peek(uint64_t key) const { return inner_->Peek(key); }
@@ -41,8 +48,10 @@ Result<double> BlockStore::DoFetch(uint64_t key, IoStats* io) const {
     std::lock_guard<std::mutex> lock(lru_mu_);
     if (TouchLocked(key / block_size_)) {
       if (io != nullptr) ++io->block_hits;
+      block_hits_metric_->Add();
     } else {
       if (io != nullptr) ++io->block_reads;
+      block_reads_metric_->Add();
     }
   }
   return value;
@@ -66,8 +75,10 @@ Status BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
       if (!seen.insert(block).second) continue;
       if (TouchLocked(block)) {
         if (io != nullptr) ++io->block_hits;
+        block_hits_metric_->Add();
       } else {
         if (io != nullptr) ++io->block_reads;
+        block_reads_metric_->Add();
       }
     }
   }

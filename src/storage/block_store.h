@@ -72,6 +72,11 @@ class BlockStore : public CoefficientStore {
   mutable std::list<uint64_t> lru_;
   mutable std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
       in_cache_;
+
+  /// Process-wide twins of the per-session block counters, labeled by store
+  /// name; bound in the constructor body (name() is virtual).
+  telemetry::Counter* block_reads_metric_;
+  telemetry::Counter* block_hits_metric_;
 };
 
 }  // namespace wavebatch

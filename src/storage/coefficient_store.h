@@ -1,11 +1,14 @@
 #ifndef WAVEBATCH_STORAGE_COEFFICIENT_STORE_H_
 #define WAVEBATCH_STORAGE_COEFFICIENT_STORE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -24,6 +27,11 @@ namespace wavebatch {
 /// paper's cost model is counted per session (the right unit for
 /// multi-tenant accounting) instead of smeared across whoever happens to
 /// share the view.
+///
+/// Writes to one IoStats are caller-synchronized: a sink is owned by one
+/// session (one thread) at a time. Concurrent sessions each write their own
+/// sink and aggregate afterwards with operator+= under the caller's
+/// synchronization — IoStats itself takes no locks and uses no atomics.
 struct IoStats {
   /// Number of coefficient retrievals (the paper's headline cost metric).
   uint64_t retrievals = 0;
@@ -44,6 +52,31 @@ struct IoStats {
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.retrievals == b.retrievals && a.block_reads == b.block_reads &&
            a.block_hits == b.block_hits;
+  }
+};
+
+/// Per-store-name telemetry handles for the counted fetch path, distinct
+/// from IoStats: IoStats is the paper's per-session cost model, these are
+/// process-wide operational metrics. Bound lazily on the first instrumented
+/// fetch (the virtual name() is not callable from the base constructor) and
+/// interned by store name in a process-wide table, so same-named stores
+/// share one time series and the handles outlive every store instance.
+struct StoreFetchMetrics {
+  telemetry::Counter* keys_fetched;
+  telemetry::Counter* bytes_fetched;
+  telemetry::Counter* errors_unavailable;
+  telemetry::Counter* errors_out_of_range;
+  telemetry::Counter* errors_other;
+  telemetry::Histogram* batch_latency_ns;
+
+  void CountError(StatusCode code) const {
+    if (code == StatusCode::kUnavailable) {
+      errors_unavailable->Add();
+    } else if (code == StatusCode::kOutOfRange) {
+      errors_out_of_range->Add();
+    } else {
+      errors_other->Add();
+    }
   }
 };
 
@@ -85,9 +118,22 @@ class CoefficientStore {
   /// `io` (pass nullptr to read without accounting — e.g. internal
   /// plumbing that the caller already charges elsewhere). On error nothing
   /// is charged and the Status explains the failure.
+  /// Telemetry: the scalar path records counters only (keys/bytes fetched,
+  /// errors by code) — never a clock read, so an instrumented per-key loop
+  /// stays within the nanoseconds-per-step budget. Latency is measured on
+  /// FetchBatch, where two clock reads amortize over the whole batch.
   Result<double> Fetch(uint64_t key, IoStats* io = nullptr) const {
     Result<double> value = DoFetch(key, io);
-    if (value.ok() && io != nullptr) ++io->retrievals;
+    if (value.ok()) {
+      if (io != nullptr) ++io->retrievals;
+      if (telemetry::Enabled()) {
+        const StoreFetchMetrics& m = FetchTelemetry();
+        m.keys_fetched->Add(1);
+        m.bytes_fetched->Add(sizeof(double));
+      }
+    } else if (telemetry::Enabled()) {
+      FetchTelemetry().CountError(value.status().code());
+    }
     return value;
   }
 
@@ -99,8 +145,27 @@ class CoefficientStore {
   Status FetchBatch(std::span<const uint64_t> keys, std::span<double> out,
                     IoStats* io = nullptr) const {
     WB_CHECK_EQ(keys.size(), out.size());
+    if (!telemetry::Enabled()) {
+      Status status = DoFetchBatch(keys, out, io);
+      if (status.ok() && io != nullptr) io->retrievals += keys.size();
+      return status;
+    }
+    const auto begin = std::chrono::steady_clock::now();
     Status status = DoFetchBatch(keys, out, io);
-    if (status.ok() && io != nullptr) io->retrievals += keys.size();
+    const auto end = std::chrono::steady_clock::now();
+    const StoreFetchMetrics& m = FetchTelemetry();
+    m.batch_latency_ns->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count()));
+    telemetry::MetricsRegistry::Default().RecordSpan("store_fetch_batch",
+                                                     begin, end);
+    if (status.ok()) {
+      if (io != nullptr) io->retrievals += keys.size();
+      m.keys_fetched->Add(keys.size());
+      m.bytes_fetched->Add(keys.size() * sizeof(double));
+    } else {
+      m.CountError(status.code());
+    }
     return status;
   }
 
@@ -162,6 +227,19 @@ class CoefficientStore {
                                    std::span<double> out, IoStats* io) {
     return inner.DoFetchBatch(keys, out, io);
   }
+
+ private:
+  /// Fast path for the wrapper instrumentation: one acquire load once the
+  /// handles are bound. The slow path (first instrumented fetch on this
+  /// instance) interns the handles by name().
+  const StoreFetchMetrics& FetchTelemetry() const {
+    const StoreFetchMetrics* m =
+        fetch_telemetry_.load(std::memory_order_acquire);
+    return m != nullptr ? *m : BindFetchTelemetry();
+  }
+  const StoreFetchMetrics& BindFetchTelemetry() const;
+
+  mutable std::atomic<const StoreFetchMetrics*> fetch_telemetry_{nullptr};
 };
 
 }  // namespace wavebatch

@@ -7,16 +7,28 @@
 
 namespace wavebatch {
 
+namespace {
+
+telemetry::Counter* InjectedFaultsCounter(const std::string& store) {
+  return telemetry::MetricsRegistry::Default().GetCounter(
+      "wavebatch_injected_faults_total", {{"store", store}},
+      "Faults fired by a FaultInjectionStore schedule.");
+}
+
+}  // namespace
+
 FaultInjectionStore::FaultInjectionStore(
     std::unique_ptr<CoefficientStore> inner, FaultInjectionOptions options)
     : owned_(std::move(inner)), inner_(owned_.get()), options_(options) {
   WB_CHECK(inner_ != nullptr);
+  injected_faults_metric_ = InjectedFaultsCounter(name());
 }
 
 FaultInjectionStore::FaultInjectionStore(CoefficientStore* inner,
                                          FaultInjectionOptions options)
     : inner_(inner), options_(options) {
   WB_CHECK(inner_ != nullptr);
+  injected_faults_metric_ = InjectedFaultsCounter(name());
 }
 
 void FaultInjectionStore::FailKey(uint64_t key) {
@@ -45,17 +57,20 @@ Status FaultInjectionStore::CheckOneLocked(uint64_t key) const {
   const uint64_t ordinal = ++fetch_count_;
   if (failed_keys_.count(key) != 0) {
     ++injected_failures_;
+    injected_faults_metric_->Add();
     return Status::Unavailable("injected fault: key " + std::to_string(key) +
                                " is failed until Heal()");
   }
   if (options_.fail_at_fetch != 0 && ordinal == options_.fail_at_fetch) {
     options_.fail_at_fetch = 0;  // one-shot: self-heals after firing
     ++injected_failures_;
+    injected_faults_metric_->Add();
     return Status::Unavailable("injected fault: one-shot fault at fetch " +
                                std::to_string(ordinal));
   }
   if (options_.fail_every_n != 0 && ordinal % options_.fail_every_n == 0) {
     ++injected_failures_;
+    injected_faults_metric_->Add();
     return Status::Unavailable("injected fault: fetch " +
                                std::to_string(ordinal) + " (every " +
                                std::to_string(options_.fail_every_n) + "th)");

@@ -104,6 +104,10 @@ class FaultInjectionStore : public CoefficientStore {
   mutable std::unordered_set<uint64_t> failed_keys_;
   mutable uint64_t fetch_count_ = 0;
   mutable uint64_t injected_failures_ = 0;
+
+  /// Process-wide telemetry twin of injected_failures_, labeled by store
+  /// name; bound in the constructor body (name() is virtual).
+  telemetry::Counter* injected_faults_metric_;
 };
 
 }  // namespace wavebatch

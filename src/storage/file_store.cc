@@ -12,10 +12,25 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace wavebatch {
+
+namespace {
+
+/// Backoff retries after a real read error (EINTR and short reads are not
+/// retries — they are normal pread behavior and cost nothing).
+telemetry::Counter& ReadRetries() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Default().GetCounter(
+          "wavebatch_file_store_read_retries_total", {},
+          "FileStore pread retries after a transient read error.");
+  return *counter;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FileStore>> FileStore::Create(
     const std::string& path, const std::vector<double>& values,
@@ -110,6 +125,7 @@ Status FileStore::PreadFully(void* buf, size_t len, uint64_t offset) const {
                                  std::strerror(err) + " (after " +
                                  std::to_string(attempts) + " attempts)");
     }
+    ReadRetries().Add();
     if (options_.retry_backoff.count() > 0) {
       std::this_thread::sleep_for(options_.retry_backoff * attempts);
     }

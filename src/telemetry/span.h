@@ -1,0 +1,52 @@
+#ifndef WAVEBATCH_TELEMETRY_SPAN_H_
+#define WAVEBATCH_TELEMETRY_SPAN_H_
+
+#include <chrono>
+
+#include "telemetry/metrics.h"
+
+namespace wavebatch::telemetry {
+
+/// RAII evaluation span: times the enclosing scope on the wall clock and
+/// records it into the process registry's span buffer on destruction.
+/// Spans opened while another span on the same thread is live nest by
+/// interval containment — the Chrome trace exporter renders the hierarchy
+/// without any explicit parent links.
+///
+/// The canonical instrumentation points use fixed names:
+///   plan_build         — EvalPlan::Build (rewrite + importances + orders)
+///   plan_cache_lookup  — PlanCache::GetOrBuild (contains plan_build on miss)
+///   session_step       — EvalSession::StepBatch / StepBlock
+///   store_fetch_batch  — CoefficientStore::FetchBatch (emitted by the
+///                        wrapper together with the latency histogram)
+///
+/// When the registry is disabled the constructor reads one relaxed flag and
+/// the span never touches a clock.
+class ScopedSpan {
+ public:
+  /// `name` must have static storage duration (pass a string literal).
+  explicit ScopedSpan(const char* name) {
+    if (Enabled()) {
+      name_ = name;
+      begin_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      MetricsRegistry::Default().RecordSpan(name_, begin_,
+                                            std::chrono::steady_clock::now());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point begin_{};
+};
+
+}  // namespace wavebatch::telemetry
+
+#endif  // WAVEBATCH_TELEMETRY_SPAN_H_

@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <atomic>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace wavebatch {
+
+namespace {
+
+/// Aggregated over every pool in the process (normally only
+/// ThreadPool::Shared()).
+telemetry::Gauge& QueueDepth() {
+  static telemetry::Gauge* gauge =
+      telemetry::MetricsRegistry::Default().GetGauge(
+          "wavebatch_thread_pool_queue_depth", {},
+          "Tasks submitted but not yet picked up by a worker.");
+  return *gauge;
+}
+
+telemetry::Counter& TasksExecuted() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Default().GetCounter(
+          "wavebatch_thread_pool_tasks_total", {},
+          "Tasks dequeued and executed by pool workers.");
+  return *counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -33,6 +56,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     WB_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
     queue_.push_back(std::move(task));
   }
+  QueueDepth().Add(1.0);
   cv_.notify_one();
 }
 
@@ -46,6 +70,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepth().Add(-1.0);
+    TasksExecuted().Add();
     task();
   }
 }

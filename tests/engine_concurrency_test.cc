@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -199,6 +200,60 @@ TEST(EngineConcurrencyTest, BufferedBlockStoreIsRaceFreeAndValueCorrect) {
               serial[t].io.block_reads + serial[t].io.block_hits)
         << "thread " << t;
   }
+}
+
+TEST(EngineConcurrencyTest, IoStatsAggregateAcrossSessionsIntoSharedSink) {
+  // IoStats writes are caller-synchronized by contract: each session owns
+  // its sink while running, and a shared "all traffic" sink is fed by
+  // operator+= under the caller's lock afterwards. The aggregate must be
+  // exactly the field-wise sum of the per-session counters — order
+  // independent, nothing lost or double-counted under concurrency.
+  Fixture f;
+  auto inner = std::make_unique<HashStore>();
+  f.store->ForEachNonZero(
+      [&](uint64_t key, double value) { inner->Add(key, value); });
+  // A buffered BlockStore populates all three IoStats fields.
+  BlockStore block(std::move(inner), /*block_size=*/8, /*cache_blocks=*/4);
+
+  IoStats shared_sink;
+  std::mutex sink_mu;
+  std::vector<IoStats> per_session(kNumThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const SessionOutcome out = f.RunSession(block, t);
+      per_session[t] = out.io;
+      std::lock_guard<std::mutex> lock(sink_mu);
+      shared_sink += out.io;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  IoStats expected;
+  uint64_t retrievals = 0, block_reads = 0, block_hits = 0;
+  for (const IoStats& io : per_session) {
+    expected += io;
+    retrievals += io.retrievals;
+    block_reads += io.block_reads;
+    block_hits += io.block_hits;
+  }
+  EXPECT_GT(retrievals, 0u);
+  EXPECT_GT(block_reads + block_hits, 0u);
+  // operator+= accumulated exactly the field-wise sums…
+  EXPECT_EQ(expected.retrievals, retrievals);
+  EXPECT_EQ(expected.block_reads, block_reads);
+  EXPECT_EQ(expected.block_hits, block_hits);
+  // …and the concurrently fed sink agrees with the serial re-aggregation
+  // (operator== compares every field).
+  EXPECT_EQ(shared_sink, expected);
+
+  // += is identity-based: folding the aggregate into a fresh sink changes
+  // nothing, and Reset() returns to the identity.
+  IoStats zero;
+  zero += shared_sink;
+  EXPECT_EQ(zero, shared_sink);
+  zero.Reset();
+  EXPECT_EQ(zero, IoStats{});
 }
 
 TEST(EngineConcurrencyTest, PlanCacheSharedAcrossThreads) {

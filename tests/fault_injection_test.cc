@@ -8,10 +8,12 @@
 
 #include "storage/fault_injection_store.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/generators.h"
@@ -24,6 +26,7 @@
 #include "storage/file_store.h"
 #include "storage/memory_store.h"
 #include "strategy/wavelet_strategy.h"
+#include "telemetry/metrics.h"
 #include "util/random.h"
 
 namespace wavebatch {
@@ -477,6 +480,76 @@ TEST(FaultMatrixTest, DegradedModeBatchFallsBackToScalar) {
     EXPECT_EQ(session.SkippedCoefficients(), 1u);
     EXPECT_EQ(session.io().retrievals, f.list->size() - 1);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: injected faults and latency are visible end to end.
+
+TEST(FaultInjectionTelemetryTest, InjectedLatencyShowsInHistogramAndSpans) {
+  auto& registry = telemetry::MetricsRegistry::Default();
+  telemetry::MetricsRegistry::Enable();
+  registry.ResetValues();
+
+  auto inner = std::make_unique<HashStore>();
+  inner->Add(1, 2.0);
+  inner->Add(2, -3.0);
+  FaultInjectionOptions options;
+  options.latency = std::chrono::microseconds(2000);
+  FaultInjectionStore store(std::move(inner), options);
+
+  const size_t spans_before = registry.Spans().size();
+  std::vector<uint64_t> keys = {1, 2};
+  std::vector<double> out(keys.size());
+  ASSERT_TRUE(store.FetchBatch(keys, out).ok());
+
+  // The batch-latency histogram for this store saw one observation of at
+  // least the injected 2 ms (in nanoseconds).
+  telemetry::Histogram* hist = registry.GetHistogram(
+      "wavebatch_store_fetch_batch_latency_ns", {{"store", store.name()}});
+  EXPECT_EQ(hist->Count(), 1u);
+  EXPECT_GE(hist->Sum(), 2'000'000u);
+  // The observation landed at or above the bucket containing 2 ms.
+  const size_t min_bucket = telemetry::Histogram::BucketIndex(2'000'000);
+  uint64_t below = 0;
+  for (size_t i = 0; i < min_bucket; ++i) below += hist->BucketCount(i);
+  EXPECT_EQ(below, 0u);
+
+  // And the wrapper emitted a store_fetch_batch span covering the latency.
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  ASSERT_GT(spans.size(), spans_before);
+  bool found = false;
+  for (size_t i = spans_before; i < spans.size(); ++i) {
+    if (std::string_view(spans[i].name) == "store_fetch_batch" &&
+        spans[i].dur_us >= 2000.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no store_fetch_batch span >= 2ms recorded";
+}
+
+TEST(FaultInjectionTelemetryTest, InjectedFaultsAreCounted) {
+  auto& registry = telemetry::MetricsRegistry::Default();
+  telemetry::MetricsRegistry::Enable();
+  registry.ResetValues();
+
+  auto inner = std::make_unique<HashStore>();
+  inner->Add(5, 1.0);
+  FaultInjectionStore store(std::move(inner));
+  telemetry::Counter* faults = registry.GetCounter(
+      "wavebatch_injected_faults_total", {{"store", store.name()}});
+  EXPECT_EQ(faults->Value(), 0u);
+
+  store.FailKey(5);
+  EXPECT_FALSE(store.Fetch(5).ok());
+  EXPECT_FALSE(store.Fetch(5).ok());
+  EXPECT_EQ(faults->Value(), 2u);
+  EXPECT_EQ(store.injected_failures(), 2u);
+
+  // Error-by-code accounting on the wrapper side matches.
+  telemetry::Counter* unavailable = registry.GetCounter(
+      "wavebatch_store_fetch_errors_total",
+      {{"store", store.name()}, {"code", "unavailable"}});
+  EXPECT_EQ(unavailable->Value(), 2u);
 }
 
 }  // namespace

@@ -4,8 +4,11 @@
 
 #include "core/exact.h"
 #include "data/generators.h"
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
 #include "gtest/gtest.h"
 #include "penalty/sse.h"
+#include "storage/fault_injection_store.h"
 #include "strategy/wavelet_strategy.h"
 
 namespace wavebatch {
@@ -125,6 +128,50 @@ TEST(TraceTest, SsePenaltyDecreasesOverall) {
   const double end = trace.points().back().penalties[0];
   EXPECT_GT(start, 0.0);
   EXPECT_LT(end, start * 1e-6);
+}
+
+TEST(TraceTest, SkippedImportanceColumnForDegradedSessions) {
+  // An EvalSession in kSkip mode gets the extra skipped_importance column;
+  // it starts at 0, jumps when a fault is absorbed, and never decreases.
+  TraceFixture f;
+  auto shared_sse = std::make_shared<SsePenalty>();
+  auto plan = EvalPlan::FromMasterList(
+      std::make_shared<const MasterList>(f.list), shared_sse);
+
+  FaultInjectionStore faulty(f.store.get());
+  const std::span<const size_t> order =
+      plan->Permutation(ProgressionOrder::kBiggestB);
+  const size_t failed_entry = order[3];
+  faulty.FailKey(f.list.entry(failed_entry).key);
+  const double failed_importance = plan->importance(failed_entry);
+
+  EvalSession::Options opts;
+  opts.fault_policy = FaultPolicy::kSkip;
+  EvalSession session(plan, UnownedStore(faulty), opts);
+  ProgressionTrace trace = ProgressionTrace::Run(
+      session, f.exact, {{"sse", shared_sse.get(), 1.0}});
+
+  EXPECT_DOUBLE_EQ(trace.points().front().skipped_importance, 0.0);
+  for (size_t i = 1; i < trace.points().size(); ++i) {
+    EXPECT_GE(trace.points()[i].skipped_importance,
+              trace.points()[i - 1].skipped_importance);
+  }
+  EXPECT_DOUBLE_EQ(trace.points().back().skipped_importance,
+                   failed_importance);
+
+  // The column shows up in the table under kSkip…
+  std::ostringstream os;
+  trace.ToTable().PrintCsv(os);
+  EXPECT_NE(os.str().find("skipped_importance"), std::string::npos);
+
+  // …and is absent for a kFail session (and for the legacy evaluator, per
+  // TableShape above).
+  EvalSession clean(plan, UnownedStore(*f.store));
+  ProgressionTrace clean_trace = ProgressionTrace::Run(
+      clean, f.exact, {{"sse", shared_sse.get(), 1.0}});
+  std::ostringstream clean_os;
+  clean_trace.ToTable().PrintCsv(clean_os);
+  EXPECT_EQ(clean_os.str().find("skipped_importance"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// CI gate for --metrics_out dumps: reads a Prometheus text exposition from
+// a file (or stdin with no argument / "-") and exits 0 iff it parses clean
+// under telemetry::ValidatePrometheus — name/label grammar, escaping,
+// HELP/TYPE placement, and histogram invariants (cumulative monotone
+// buckets, le="+Inf" == _count).
+//
+//   ./build/tools/validate_prometheus metrics.prom
+//   some_bench --metrics_out=/dev/stdout | ./build/tools/validate_prometheus
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/export.h"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [exposition.prom]\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  const std::string path = argc == 2 ? argv[1] : "-";
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      text.append(chunk, n);
+    }
+    std::fclose(f);
+  }
+
+  std::string error;
+  if (!wavebatch::telemetry::ValidatePrometheus(text, &error)) {
+    std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "OK %s (%zu bytes)\n", path.c_str(), text.size());
+  return 0;
+}
