@@ -289,6 +289,9 @@ BENCHMARK(BM_EngineSessionStepBatch)
 
 void BM_PlanBuild(benchmark::State& state) {
   // Replanning from scratch: master list + importances + permutations.
+  // The parallel:0/1 axis toggles BuildParallelism — both settings produce
+  // bit-identical plans, so the ratio is pure construction speedup (1 on a
+  // single-core machine; the win shows on multi-core CI runners).
   TemperatureDatasetOptions options;
   options.lat_size = 32;
   options.lon_size = 32;
@@ -298,20 +301,64 @@ void BM_PlanBuild(benchmark::State& state) {
   options.num_records = 100000;
   DenseCube cube = MakeTemperatureCube(options);
   const size_t grid = static_cast<size_t>(state.range(0));
+  const BuildParallelism parallelism = state.range(1) != 0
+                                           ? BuildParallelism::kParallel
+                                           : BuildParallelism::kSerial;
   const std::vector<size_t> parts = {grid, grid, 1, 1, 1};
   PartitionWorkload w = MakePartitionWorkload(
       cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
   WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
   auto sse = std::make_shared<SsePenalty>();
+  size_t plan_entries = 0;
   for (auto _ : state) {
     Result<std::shared_ptr<const EvalPlan>> plan =
-        EvalPlan::Build(w.batch, strategy, sse);
+        EvalPlan::Build(w.batch, strategy, sse, parallelism);
     benchmark::DoNotOptimize(plan.ok());
+    plan_entries = (*plan)->size();
   }
   state.SetItemsProcessed(state.iterations() * w.batch.size());
+  // Deterministic function of the workload — the machine-independent
+  // counter tools/bench_compare gates on.
+  state.counters["plan_entries"] =
+      static_cast<double>(plan_entries * state.iterations());
 }
-BENCHMARK(BM_PlanBuild)->Arg(4)->Arg(8)->Arg(16)
+BENCHMARK(BM_PlanBuild)
+    ->ArgsProduct({{4, 8, 16}, {0, 1}})
+    ->ArgNames({"grid", "parallel"})
     ->Unit(benchmark::kMillisecond);
+
+void BM_PlanRandomPermutation(benchmark::State& state) {
+  // kRandom session startup cost. memoized:1 re-requests one seed (the
+  // many-sessions-one-seed pattern — served from the plan's cache, one copy
+  // and no shuffle); memoized:0 alternates seeds so every call re-shuffles.
+  TemperatureDatasetOptions options;
+  options.lat_size = 32;
+  options.lon_size = 32;
+  options.alt_size = 4;
+  options.time_size = 8;
+  options.temp_size = 16;
+  options.num_records = 100000;
+  DenseCube cube = MakeTemperatureCube(options);
+  const std::vector<size_t> parts = {8, 8, 1, 1, 1};
+  PartitionWorkload w = MakePartitionWorkload(
+      cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
+  WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  auto sse = std::make_shared<SsePenalty>();
+  std::shared_ptr<const EvalPlan> plan =
+      EvalPlan::Build(w.batch, strategy, sse).value();
+  const bool memoized = state.range(0) != 0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    if (!memoized) ++seed;
+    std::vector<size_t> perm = plan->RandomPermutation(seed);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * plan->size());
+}
+BENCHMARK(BM_PlanRandomPermutation)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"memoized"})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PlanCacheHit(benchmark::State& state) {
   // The repeated-dashboard case: an identical batch arrives again and the
@@ -357,13 +404,25 @@ void BM_MasterListBuild(benchmark::State& state) {
   PartitionWorkload w = MakePartitionWorkload(
       cube.schema(), parts, CellAggregate::kSum, kTemp, 5);
   WaveletStrategy strategy(cube.schema(), WaveletKind::kDb4);
+  const BuildParallelism parallelism = state.range(1) != 0
+                                           ? BuildParallelism::kParallel
+                                           : BuildParallelism::kSerial;
+  size_t master_entries = 0;
   for (auto _ : state) {
-    Result<MasterList> list = MasterList::Build(w.batch, strategy);
+    Result<MasterList> list =
+        MasterList::Build(w.batch, strategy, parallelism);
     benchmark::DoNotOptimize(list.ok());
+    master_entries = list->size();
   }
   state.SetItemsProcessed(state.iterations() * w.batch.size());
+  // Deterministic function of the workload — the machine-independent
+  // counter tools/bench_compare gates on.
+  state.counters["master_entries"] =
+      static_cast<double>(master_entries * state.iterations());
 }
-BENCHMARK(BM_MasterListBuild)->Arg(4)->Arg(8)->Arg(16)
+BENCHMARK(BM_MasterListBuild)
+    ->ArgsProduct({{4, 8, 16}, {0, 1}})
+    ->ArgNames({"grid", "parallel"})
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,17 @@
 
 namespace wavebatch {
 
+/// Whether a plan-time build (master-list merge, importances, permutation
+/// sorts) may fan out across util::ThreadPool::Shared(). Both settings
+/// produce bit-identical artifacts — parallel construction uses fixed chunk
+/// boundaries, stable merges, and total-order sorts, so the only difference
+/// is wall-clock. kSerial exists for benchmarking the speedup
+/// (BM_PlanBuild) and for callers that must not touch the shared pool.
+enum class BuildParallelism {
+  kSerial,
+  kParallel,
+};
+
 /// One storage coefficient needed by the batch, together with every query
 /// that uses it and that query's coefficient there — the unit of I/O
 /// sharing (Section 2.2): fetching this key once advances every query in
@@ -24,6 +35,21 @@ struct MasterEntry {
 /// The merged master list of Batch-Biggest-B steps 2–3: per-query sparse
 /// coefficient lists merged by key. Its size is the exact shared I/O cost
 /// of the batch; the sum of per-query sizes is the naive (unshared) cost.
+///
+/// The list is held in two views over the same data:
+///
+///   * the **flat CSR image** — contiguous `keys()`, `uses_offsets()`
+///     (size+1 prefix offsets), `uses_query()` and `uses_coeff()` arrays;
+///     entry i's uses occupy [uses_offsets()[i], uses_offsets()[i+1]) of
+///     the two `uses_*` arrays. This is the hot-path layout: the engine's
+///     apply kernel walks it branch-free with no per-entry pointer chase
+///     (see engine/apply_kernel.h).
+///   * the **pointer-based `entries()` view** — one `MasterEntry` with its
+///     own `uses` vector per coefficient. The legacy core/ evaluators (the
+///     golden references) keep reading this view, so nothing built on it
+///     changes behavior.
+///
+/// Both views are materialized by the same build and always agree.
 class MasterList {
  public:
   /// An empty master list (no queries, no entries); assign over it.
@@ -31,18 +57,28 @@ class MasterList {
 
   /// Rewrites every query in `batch` under `strategy` and merges. Fails if
   /// any query cannot be rewritten (e.g. unsupported monomial).
-  static Result<MasterList> Build(const QueryBatch& batch,
-                                  const LinearStrategy& strategy);
+  static Result<MasterList> Build(
+      const QueryBatch& batch, const LinearStrategy& strategy,
+      BuildParallelism parallelism = BuildParallelism::kParallel);
 
   /// Merges pre-transformed per-query sparse vectors (index = query index).
   static MasterList FromQueryVectors(
-      const std::vector<SparseVec>& query_coefficients);
+      const std::vector<SparseVec>& query_coefficients,
+      BuildParallelism parallelism = BuildParallelism::kParallel);
 
   size_t num_queries() const { return num_queries_; }
   /// Distinct coefficients needed by the batch = exact shared I/O cost.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return keys_.size(); }
   const MasterEntry& entry(size_t i) const { return entries_[i]; }
   const std::vector<MasterEntry>& entries() const { return entries_; }
+
+  /// CSR image, ascending by key. keys()[i] is entry i's storage key; its
+  /// uses are rows [uses_offsets()[i], uses_offsets()[i+1]) of
+  /// uses_query()/uses_coeff(), ascending by query index.
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  const std::vector<uint64_t>& uses_offsets() const { return uses_offsets_; }
+  const std::vector<uint32_t>& uses_query() const { return uses_query_; }
+  const std::vector<double>& uses_coeff() const { return uses_coeff_; }
 
   /// Σ per-query nonzero counts = exact naive (per-query) I/O cost.
   uint64_t TotalQueryCoefficients() const { return total_coefficients_; }
@@ -59,7 +95,14 @@ class MasterList {
   size_t num_queries_ = 0;
   uint64_t total_coefficients_ = 0;
   std::vector<uint64_t> per_query_coefficients_;
-  std::vector<MasterEntry> entries_;  // ascending by key
+
+  // CSR image (primary representation, ascending by key).
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> uses_offsets_;  // size() + 1 when non-empty
+  std::vector<uint32_t> uses_query_;
+  std::vector<double> uses_coeff_;
+
+  std::vector<MasterEntry> entries_;  // legacy golden view, same order
 };
 
 }  // namespace wavebatch

@@ -10,7 +10,8 @@ namespace wavebatch {
 
 Result<BoundedRunResult> RunWithBoundedWorkspace(
     const QueryBatch& batch, const LinearStrategy& strategy,
-    const CoefficientStore& store, uint64_t max_workspace_coefficients) {
+    const CoefficientStore& store, uint64_t max_workspace_coefficients,
+    BuildParallelism parallelism) {
   WB_CHECK_GT(max_workspace_coefficients, 0u);
   BoundedRunResult out;
   out.results.resize(batch.size(), 0.0);
@@ -25,8 +26,9 @@ Result<BoundedRunResult> RunWithBoundedWorkspace(
   auto flush = [&]() -> Status {
     if (group.empty()) return Status::OK();
     auto plan = EvalPlan::FromMasterList(
-        std::make_shared<const MasterList>(MasterList::FromQueryVectors(group)),
-        /*penalty=*/nullptr);
+        std::make_shared<const MasterList>(
+            MasterList::FromQueryVectors(group, parallelism)),
+        /*penalty=*/nullptr, parallelism);
     EvalSession::Options opts;
     opts.order = ProgressionOrder::kKeyOrder;
     EvalSession session(plan, shared_store, opts);

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/master_list.h"
 #include "core/progressive.h"
+#include "engine/apply_kernel.h"
 #include "penalty/penalty.h"
 #include "query/batch.h"
 #include "strategy/linear_strategy.h"
@@ -27,6 +29,11 @@ namespace wavebatch {
 /// the master list and penalty alive, closing the raw-pointer lifetime trap
 /// of the legacy ProgressiveEvaluator ("list/penalty/store must outlive the
 /// evaluator").
+///
+/// Construction fans out over util::ThreadPool::Shared() by default
+/// (importances, permutation sorts, and the master-list merge); pass
+/// BuildParallelism::kSerial to force the single-threaded path. Both
+/// settings produce bit-identical plans — see core/master_list.h.
 class EvalPlan {
  public:
   /// Rewrites `batch` under `strategy` (MasterList::Build) and plans it.
@@ -35,12 +42,14 @@ class EvalPlan {
   /// do not).
   static Result<std::shared_ptr<const EvalPlan>> Build(
       const QueryBatch& batch, const LinearStrategy& strategy,
-      std::shared_ptr<const PenaltyFunction> penalty);
+      std::shared_ptr<const PenaltyFunction> penalty,
+      BuildParallelism parallelism = BuildParallelism::kParallel);
 
   /// Plans an already-merged master list.
   static std::shared_ptr<const EvalPlan> FromMasterList(
       std::shared_ptr<const MasterList> list,
-      std::shared_ptr<const PenaltyFunction> penalty);
+      std::shared_ptr<const PenaltyFunction> penalty,
+      BuildParallelism parallelism = BuildParallelism::kParallel);
 
   const MasterList& list() const { return *list_; }
   std::shared_ptr<const MasterList> shared_list() const { return list_; }
@@ -58,6 +67,14 @@ class EvalPlan {
   /// importance. Requires HasImportance().
   double total_importance() const { return total_importance_; }
 
+  /// The fused gather-apply kernel over this plan's CSR image. The returned
+  /// pointers stay valid as long as this plan is alive (sessions hold the
+  /// plan via shared_ptr).
+  ApplyKernel kernel() const {
+    return ApplyKernel::For(
+        *list_, importance_.empty() ? nullptr : importance_.data());
+  }
+
   /// The order in which a session under `order` consumes master-list entry
   /// indices. Precomputed for kBiggestB (requires HasImportance()),
   /// kRoundRobin, and kKeyOrder; kRandom depends on a seed — use
@@ -66,11 +83,16 @@ class EvalPlan {
 
   /// The kRandom consumption order for `seed` (identity permutation through
   /// a seeded Fisher–Yates, matching the legacy evaluator step for step).
+  /// The last (seed, permutation) pair is memoized behind a mutex — the
+  /// plan stays logically immutable, and the common pattern of many
+  /// sessions sharing one seed costs one shuffle instead of one per
+  /// session. Thread-safe.
   std::vector<size_t> RandomPermutation(uint64_t seed) const;
 
  private:
   EvalPlan(std::shared_ptr<const MasterList> list,
-           std::shared_ptr<const PenaltyFunction> penalty);
+           std::shared_ptr<const PenaltyFunction> penalty,
+           BuildParallelism parallelism);
 
   std::shared_ptr<const MasterList> list_;
   std::shared_ptr<const PenaltyFunction> penalty_;
@@ -86,6 +108,13 @@ class EvalPlan {
   std::vector<size_t> biggest_b_;
   std::vector<size_t> round_robin_;
   std::vector<size_t> key_order_;
+
+  // RandomPermutation memo (logical const: a cache of a pure function of
+  // the immutable plan).
+  mutable std::mutex random_mu_;
+  mutable bool random_cached_ = false;
+  mutable uint64_t random_seed_ = 0;
+  mutable std::vector<size_t> random_perm_;
 };
 
 }  // namespace wavebatch

@@ -62,6 +62,7 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
       options_(std::move(options)) {
   WB_CHECK(plan_ != nullptr);
   WB_CHECK(store_ != nullptr);
+  kernel_ = plan_->kernel();
   if (telemetry::Enabled()) {
     static std::atomic<uint64_t> next_session_id{1};
     telemetry_ = std::make_unique<Telemetry>(
@@ -81,7 +82,7 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
     const MasterList& list = plan_->list();
     std::unordered_map<uint64_t, size_t> block_index;
     for (size_t i = 0; i < list.size(); ++i) {
-      const uint64_t block_id = options_.block_of(list.entry(i).key);
+      const uint64_t block_id = options_.block_of(list.keys()[i]);
       auto [it, inserted] = block_index.try_emplace(block_id, blocks_.size());
       if (inserted) blocks_.push_back({block_id, 0.0, {}});
       Block& block = blocks_[it->second];
@@ -127,19 +128,11 @@ bool EvalSession::Done() const {
 }
 
 void EvalSession::ApplyEntry(size_t entry_idx, double data) {
-  if (data == 0.0) return;
-  for (const auto& [query, coeff] : plan_->list().entry(entry_idx).uses) {
-    estimates_[query] += coeff * data;
-  }
+  kernel_.ApplyOne(entry_idx, data, estimates_.data());
 }
 
 void EvalSession::ConsumeImportance(size_t entry_idx) {
-  if (!plan_->HasImportance()) return;
-  // Clamp: ι sums are accumulated in a different order than they are
-  // subtracted, so the remainder can drift a few ulps below zero at the
-  // end of a run. Remaining importance is a mass; it never goes negative.
-  remaining_importance_ =
-      std::max(0.0, remaining_importance_ - plan_->importance(entry_idx));
+  kernel_.ConsumeImportance(entry_idx, &remaining_importance_);
 }
 
 void EvalSession::SkipEntry(size_t entry_idx) {
@@ -159,8 +152,7 @@ Result<size_t> EvalSession::Step() {
   // Fetch BEFORE any bookkeeping: a failed fetch must leave the session
   // exactly as it was (resumable), so the cursor and trackers only move
   // once the data is in hand (or the fault is absorbed under kSkip).
-  Result<double> data =
-      store_->Fetch(plan_->list().entry(entry_idx).key, &io_);
+  Result<double> data = store_->Fetch(kernel_.keys[entry_idx], &io_);
   if (!data.ok()) {
     if (options_.fault_policy == FaultPolicy::kFail) return data.status();
     ++steps_taken_;
@@ -188,15 +180,11 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
   n = std::min<size_t>(n, TotalSteps() - StepsTaken());
   if (n == 0) return static_cast<size_t>(0);
   telemetry::ScopedSpan span("session_step");
-  const MasterList& list = plan_->list();
-  const size_t first = steps_taken_;
-  std::vector<uint64_t> keys;
-  keys.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    keys.push_back(list.entry(permutation_[first + i]).key);
-  }
-  std::vector<double> values(keys.size());
-  Status status = store_->FetchBatch(keys, values, &io_);
+  const size_t* order = permutation_.data() + steps_taken_;
+  batch_keys_.resize(n);
+  kernel_.GatherKeys(order, n, batch_keys_.data());
+  batch_values_.resize(n);
+  Status status = store_->FetchBatch(batch_keys_, batch_values_, &io_);
   if (!status.ok()) {
     if (options_.fault_policy == FaultPolicy::kFail) return status;
     // Degraded fallback: the all-or-nothing batch failed, so refetch key by
@@ -204,8 +192,8 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
     // accounting matches: the failed batch charged nothing, each scalar
     // success charges one.
     for (size_t i = 0; i < n; ++i) {
-      const size_t entry_idx = permutation_[first + i];
-      Result<double> value = store_->Fetch(keys[i], &io_);
+      const size_t entry_idx = order[i];
+      Result<double> value = store_->Fetch(batch_keys_[i], &io_);
       ++steps_taken_;
       if (!value.ok()) {
         SkipEntry(entry_idx);
@@ -218,13 +206,10 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
     return n;
   }
   steps_taken_ += n;
-  // Apply in consumption order: the identical floating-point accumulation
-  // sequence a scalar Step() loop would produce.
-  for (size_t i = 0; i < n; ++i) {
-    const size_t entry_idx = permutation_[first + i];
-    ConsumeImportance(entry_idx);
-    ApplyEntry(entry_idx, values[i]);
-  }
+  // Fused apply in consumption order: the identical floating-point
+  // accumulation sequence a scalar Step() loop would produce.
+  kernel_.ApplyOrderedSlice(order, n, batch_values_.data(), estimates_.data(),
+                            &remaining_importance_);
   UpdateTelemetry();
   return n;
 }
@@ -249,24 +234,21 @@ Result<size_t> EvalSession::StepBlock() {
   WB_CHECK(!Done()) << "StepBlock() after completion";
   telemetry::ScopedSpan span("session_step");
   const Block& block = blocks_[block_order_[blocks_fetched_]];
-  const MasterList& list = plan_->list();
+  const size_t count = block.entries.size();
   // One batched fetch per block — on a BlockStore backend this touches the
   // underlying block exactly once, matching the simulated cost model.
-  std::vector<uint64_t> keys;
-  keys.reserve(block.entries.size());
-  for (size_t entry_idx : block.entries) {
-    keys.push_back(list.entry(entry_idx).key);
-  }
-  std::vector<double> values(keys.size());
-  Status status = store_->FetchBatch(keys, values, &io_);
+  batch_keys_.resize(count);
+  kernel_.GatherKeys(block.entries.data(), count, batch_keys_.data());
+  batch_values_.resize(count);
+  Status status = store_->FetchBatch(batch_keys_, batch_values_, &io_);
   if (!status.ok()) {
     if (options_.fault_policy == FaultPolicy::kFail) return status;
     // Degraded fallback, per key (see StepBatch). The block is consumed
     // either way; only the unavailable members are skipped.
     ++blocks_fetched_;
-    for (size_t i = 0; i < block.entries.size(); ++i) {
+    for (size_t i = 0; i < count; ++i) {
       const size_t entry_idx = block.entries[i];
-      Result<double> value = store_->Fetch(keys[i], &io_);
+      Result<double> value = store_->Fetch(batch_keys_[i], &io_);
       ++steps_taken_;
       if (!value.ok()) {
         SkipEntry(entry_idx);
@@ -277,17 +259,15 @@ Result<size_t> EvalSession::StepBlock() {
       ApplyEntry(entry_idx, *value);
     }
     UpdateTelemetry();
-    return block.entries.size();
+    return count;
   }
   ++blocks_fetched_;
-  coefficients_fetched_ += block.entries.size();
-  steps_taken_ += block.entries.size();
-  for (size_t i = 0; i < block.entries.size(); ++i) {
-    ConsumeImportance(block.entries[i]);
-    ApplyEntry(block.entries[i], values[i]);
-  }
+  coefficients_fetched_ += count;
+  steps_taken_ += count;
+  kernel_.ApplyOrderedSlice(block.entries.data(), count, batch_values_.data(),
+                            estimates_.data(), &remaining_importance_);
   UpdateTelemetry();
-  return block.entries.size();
+  return count;
 }
 
 Status EvalSession::StepToBlocks(uint64_t n) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/apply_kernel.h"
 #include "engine/eval_plan.h"
 #include "storage/coefficient_store.h"
 #include "util/status.h"
@@ -170,6 +171,14 @@ class EvalSession {
   std::shared_ptr<const EvalPlan> plan_;
   std::shared_ptr<const CoefficientStore> store_;
   Options options_;
+
+  // Fused gather-apply kernel over the plan's CSR image (raw pointers into
+  // plan-owned arrays, valid while plan_ is held) plus reusable fetch
+  // scratch: StepBatch/StepBlock/RunToExact allocate only up to the
+  // high-water batch size, then recycle.
+  ApplyKernel kernel_;
+  std::vector<uint64_t> batch_keys_;
+  std::vector<double> batch_values_;
 
   // Coefficient granularity: consumption order (either a view into the
   // plan's precomputed permutation or this session's seeded random one).

@@ -31,9 +31,20 @@ Result<double> DenseStore::DoFetch(uint64_t key, IoStats*) const {
 
 Status DenseStore::DoFetchBatch(std::span<const uint64_t> keys,
                                 std::span<double> out, IoStats*) const {
+  // Permuted gathers (biggest-B order) defeat the hardware stride
+  // prefetcher, so the loop prefetches a few keys ahead. The lookahead key
+  // is bounds-checked before its address is formed — an out-of-range key
+  // must surface as OutOfRange at its own index, never as a wild prefetch.
+  constexpr size_t kAhead = 8;
+  const size_t capacity = values_.size();
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (keys[i] >= values_.size()) {
-      return KeyOutOfRange(keys[i], values_.size());
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kAhead < keys.size() && keys[i + kAhead] < capacity) {
+      __builtin_prefetch(&values_[keys[i + kAhead]]);
+    }
+#endif
+    if (keys[i] >= capacity) {
+      return KeyOutOfRange(keys[i], capacity);
     }
     out[i] = values_[keys[i]];
   }

@@ -80,11 +80,13 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   grain = std::max<size_t>(1, grain);
-  const size_t num_chunks = (n + grain - 1) / grain;
-  if (num_chunks == 1) {
+  // Inline fast path: a range that fits one chunk never touches the queue
+  // (an enqueue + wake costs ~µs — more than the whole range is worth).
+  if (n <= grain) {
     fn(0, n);
     return;
   }
+  const size_t num_chunks = (n + grain - 1) / grain;
 
   // Work-sharing: helpers and the caller all pull chunk indices from one
   // atomic counter; the caller then waits for the last chunk to finish.

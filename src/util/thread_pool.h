@@ -34,18 +34,36 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Default chunk size for the grain-less ParallelFor overload: large
+  /// enough that one chunk amortizes an enqueue + worker wake (~µs) for
+  /// the cheap-per-index loops in this codebase (gathers, importance
+  /// evaluations), small enough to split across a handful of workers.
+  static constexpr size_t kDefaultGrain = 1024;
+
   /// Enqueues `task` for execution on some worker. Fire-and-forget; use
   /// ParallelFor when completion must be observed.
   void Submit(std::function<void()> task);
 
   /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
-  /// `grain` indices and blocks until every chunk has finished. The calling
-  /// thread participates (it never merely waits while work remains), so
-  /// ParallelFor cannot deadlock even when every worker is busy or the pool
-  /// is tiny. Chunk boundaries depend only on (n, grain), never on thread
-  /// count — results must not depend on which thread ran a chunk.
+  /// `grain` indices and blocks until every chunk has finished.
+  ///
+  /// Ranges that fit a single chunk (n <= grain) run inline on the calling
+  /// thread as fn(0, n) — no task is enqueued and no worker is woken, so a
+  /// tiny range costs exactly one call. Pick `grain` as "enough work to be
+  /// worth one wake": it is both the chunk size and the inline threshold.
+  ///
+  /// For larger ranges the calling thread participates (it never merely
+  /// waits while work remains), so ParallelFor cannot deadlock even when
+  /// every worker is busy or the pool is tiny. Chunk boundaries depend only
+  /// on (n, grain), never on thread count — results must not depend on
+  /// which thread ran a chunk.
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
+
+  /// ParallelFor with kDefaultGrain.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn) {
+    ParallelFor(n, kDefaultGrain, fn);
+  }
 
   /// Process-wide shared pool (sized to the hardware), created on first
   /// use. Library code that wants "parallel if possible" without plumbing

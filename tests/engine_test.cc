@@ -24,6 +24,7 @@
 #include "penalty/sse.h"
 #include "storage/block_store.h"
 #include "storage/dense_store.h"
+#include "storage/fault_injection_store.h"
 #include "storage/file_store.h"
 #include "storage/memory_store.h"
 #include "strategy/wavelet_strategy.h"
@@ -160,11 +161,116 @@ TEST_P(EngineOrderTest, ScalarStepsMatchLegacyEntryForEntry) {
   EXPECT_EQ(session.io(), legacy.io());
 }
 
+TEST_P(EngineOrderTest, SkipModeBatchAndScalarPathsAgree) {
+  // Under FaultPolicy::kSkip a failed FetchBatch falls back to per-key
+  // scalar fetches. That fallback and a pure scalar Step() loop must be
+  // indistinguishable: same estimates, same bound trackers, same skipped
+  // mass — entry for entry, under every progression order.
+  Fixture f;
+  auto make_faulty = [&] {
+    auto inner = std::make_unique<HashStore>();
+    f.store->ForEachNonZero(
+        [&](uint64_t key, double value) { inner->Add(key, value); });
+    auto faulty = std::make_unique<FaultInjectionStore>(std::move(inner));
+    for (size_t i = 0; i < f.list->size(); i += 3) {
+      faulty->FailKey(f.list->keys()[i]);
+    }
+    return faulty;
+  };
+  auto batch_store = make_faulty();
+  auto scalar_store = make_faulty();
+  EvalSession::Options opts;
+  opts.order = GetParam();
+  opts.seed = 17;
+  opts.fault_policy = FaultPolicy::kSkip;
+  EvalSession batched(f.plan, UnownedStore(*batch_store), opts);
+  EvalSession scalar(f.plan, UnownedStore(*scalar_store), opts);
+  const double k = f.store->SumAbs();
+  const size_t batch_sizes[] = {1, 3, 7, 16, 64};
+  size_t bi = 0;
+  while (!batched.Done()) {
+    const size_t n = batch_sizes[bi++ % std::size(batch_sizes)];
+    const size_t taken = batched.StepBatch(n).value();
+    ASSERT_TRUE(scalar.StepMany(taken).ok());
+    ASSERT_EQ(batched.StepsTaken(), scalar.StepsTaken());
+    EXPECT_EQ(batched.SkippedCoefficients(), scalar.SkippedCoefficients());
+    EXPECT_EQ(batched.SkippedImportance(), scalar.SkippedImportance());
+    for (size_t q = 0; q < f.batch.size(); ++q) {
+      EXPECT_EQ(batched.Estimates()[q], scalar.Estimates()[q])
+          << "query " << q << " after " << batched.StepsTaken();
+    }
+    EXPECT_EQ(batched.WorstCaseBound(k), scalar.WorstCaseBound(k));
+    EXPECT_EQ(batched.ExpectedPenalty(f.schema.cell_count()),
+              scalar.ExpectedPenalty(f.schema.cell_count()));
+  }
+  EXPECT_TRUE(scalar.Done());
+  EXPECT_GT(batched.SkippedCoefficients(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllOrders, EngineOrderTest,
                          ::testing::Values(ProgressionOrder::kBiggestB,
                                            ProgressionOrder::kRoundRobin,
                                            ProgressionOrder::kRandom,
                                            ProgressionOrder::kKeyOrder));
+
+TEST(EngineSessionTest, StepBatchZeroAndOverrunClamp) {
+  Fixture f;
+  EvalSession session(f.plan, UnownedStore(*f.store));
+  // n == 0 is a complete no-op: no cursor movement, no I/O.
+  EXPECT_EQ(session.StepBatch(0).value(), 0u);
+  EXPECT_EQ(session.StepsTaken(), 0u);
+  EXPECT_EQ(session.io().retrievals, 0u);
+  // n far beyond the remaining tail clamps to the tail.
+  const size_t total = session.TotalSteps();
+  ASSERT_GT(total, 3u);
+  EXPECT_EQ(session.StepBatch(total - 3).value(), total - 3);
+  EXPECT_EQ(session.StepBatch(total).value(), 3u);
+  EXPECT_TRUE(session.Done());
+  // A completed session accepts further batch calls as no-ops.
+  EXPECT_EQ(session.StepBatch(64).value(), 0u);
+  EXPECT_EQ(session.io().retrievals, total);
+  for (size_t i = 0; i < f.exact.size(); ++i) {
+    EXPECT_NEAR(session.Estimates()[i], f.exact[i],
+                1e-6 * (1.0 + std::abs(f.exact[i])));
+  }
+}
+
+TEST(EnginePlanTest, SerialAndParallelPlansBitIdentical) {
+  // BuildParallelism must be unobservable in the artifact: importances,
+  // their total, and every permutation identical bit for bit.
+  Fixture f;
+  auto serial =
+      EvalPlan::FromMasterList(f.list, f.sse, BuildParallelism::kSerial);
+  auto parallel =
+      EvalPlan::FromMasterList(f.list, f.sse, BuildParallelism::kParallel);
+  ASSERT_EQ(serial->size(), parallel->size());
+  EXPECT_EQ(serial->total_importance(), parallel->total_importance());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ(serial->importance(i), parallel->importance(i)) << i;
+  }
+  for (ProgressionOrder order :
+       {ProgressionOrder::kBiggestB, ProgressionOrder::kRoundRobin,
+        ProgressionOrder::kKeyOrder}) {
+    std::span<const size_t> a = serial->Permutation(order);
+    std::span<const size_t> b = parallel->Permutation(order);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << static_cast<int>(order) << " at " << i;
+    }
+  }
+  EXPECT_EQ(serial->RandomPermutation(17), parallel->RandomPermutation(17));
+}
+
+TEST(EnginePlanTest, RandomPermutationMemoIsTransparent) {
+  // The plan memoizes the last (seed, permutation) pair; eviction and
+  // re-request must be invisible to callers.
+  Fixture f;
+  const std::vector<size_t> p42 = f.plan->RandomPermutation(42);
+  const std::vector<size_t> p7 = f.plan->RandomPermutation(7);
+  EXPECT_NE(p42, p7);
+  EXPECT_EQ(f.plan->RandomPermutation(7), p7);    // served from the memo
+  EXPECT_EQ(f.plan->RandomPermutation(42), p42);  // recomputed after evict
+}
 
 TEST(EnginePlanTest, PermutationsAreTruePermutations) {
   Fixture f;

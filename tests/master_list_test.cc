@@ -3,9 +3,28 @@
 #include "data/generators.h"
 #include "gtest/gtest.h"
 #include "strategy/wavelet_strategy.h"
+#include "util/random.h"
 
 namespace wavebatch {
 namespace {
+
+/// Random per-query sparse vectors with heavy cross-query key sharing.
+/// total coefficients ≈ num_queries * nnz; sized by callers to land above
+/// or below the master list's parallel-build threshold.
+std::vector<SparseVec> RandomQueryVectors(size_t num_queries, size_t nnz,
+                                          uint64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparseVec> qs;
+  qs.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<SparseEntry> entries;
+    for (uint64_t key : rng.SampleWithoutReplacement(domain, nnz)) {
+      entries.push_back({key, rng.Gaussian()});
+    }
+    qs.push_back(SparseVec::FromUnsorted(entries));
+  }
+  return qs;
+}
 
 TEST(MasterListTest, FromQueryVectorsMergesByKey) {
   std::vector<SparseVec> qs = {
@@ -76,6 +95,55 @@ TEST(MasterListTest, BuildFromBatchSharesAcrossAdjacentRanges) {
   ASSERT_TRUE(list.ok()) << list.status();
   EXPECT_LT(list->size(), list->TotalQueryCoefficients());
   EXPECT_GE(list->MaxSharing(), 2u);
+}
+
+TEST(MasterListTest, CsrViewMatchesEntriesView) {
+  // The flat CSR image and the pointer-based legacy view are two
+  // materializations of the same build; they must agree entry for entry.
+  std::vector<SparseVec> qs =
+      RandomQueryVectors(/*num_queries=*/12, /*nnz=*/200, /*domain=*/1024, 3);
+  MasterList list = MasterList::FromQueryVectors(qs);
+  ASSERT_EQ(list.entries().size(), list.size());
+  ASSERT_EQ(list.keys().size(), list.size());
+  ASSERT_EQ(list.uses_offsets().size(), list.size() + 1);
+  EXPECT_EQ(list.uses_offsets().front(), 0u);
+  EXPECT_EQ(list.uses_offsets().back(), list.uses_query().size());
+  ASSERT_EQ(list.uses_query().size(), list.uses_coeff().size());
+  for (size_t e = 0; e < list.size(); ++e) {
+    const MasterEntry& entry = list.entry(e);
+    EXPECT_EQ(entry.key, list.keys()[e]);
+    const uint64_t lo = list.uses_offsets()[e];
+    const uint64_t hi = list.uses_offsets()[e + 1];
+    ASSERT_EQ(entry.uses.size(), hi - lo);
+    for (uint64_t r = lo; r < hi; ++r) {
+      EXPECT_EQ(entry.uses[r - lo].first, list.uses_query()[r]);
+      EXPECT_EQ(entry.uses[r - lo].second, list.uses_coeff()[r]);
+    }
+  }
+}
+
+TEST(MasterListTest, SerialAndParallelBuildsBitIdentical) {
+  // Large enough to clear the parallel-build threshold (2^14 merged
+  // coefficients): the two settings must produce byte-for-byte identical
+  // CSR images — that is the whole determinism contract of the parallel
+  // merge (fixed chunks, stable pairwise merges).
+  std::vector<SparseVec> qs = RandomQueryVectors(
+      /*num_queries=*/36, /*nnz=*/600, /*domain=*/8192, 11);
+  MasterList serial =
+      MasterList::FromQueryVectors(qs, BuildParallelism::kSerial);
+  MasterList parallel =
+      MasterList::FromQueryVectors(qs, BuildParallelism::kParallel);
+  ASSERT_GE(serial.TotalQueryCoefficients(), 1u << 14);
+  EXPECT_GE(serial.MaxSharing(), 2u);  // keys genuinely collide
+  EXPECT_EQ(serial.keys(), parallel.keys());
+  EXPECT_EQ(serial.uses_offsets(), parallel.uses_offsets());
+  EXPECT_EQ(serial.uses_query(), parallel.uses_query());
+  EXPECT_EQ(serial.uses_coeff(), parallel.uses_coeff());
+  ASSERT_EQ(serial.entries().size(), parallel.entries().size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_EQ(serial.entry(e).key, parallel.entry(e).key);
+    EXPECT_EQ(serial.entry(e).uses, parallel.entry(e).uses);
+  }
 }
 
 TEST(MasterListTest, BuildPropagatesRewriteErrors) {
