@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "storage/key_router.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "util/check.h"
@@ -63,6 +64,13 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
   WB_CHECK(plan_ != nullptr);
   WB_CHECK(store_ != nullptr);
   kernel_ = plan_->kernel();
+  if (const KeyRouter* router = store_->router();
+      router != nullptr && router->num_shards() > 1) {
+    entry_shards_.resize(plan_->size());
+    for (size_t i = 0; i < entry_shards_.size(); ++i) {
+      entry_shards_[i] = router->ShardOf(kernel_.keys[i]);
+    }
+  }
   if (telemetry::Enabled()) {
     static std::atomic<uint64_t> next_session_id{1};
     telemetry_ = std::make_unique<Telemetry>(
@@ -175,16 +183,26 @@ Status EvalSession::StepMany(size_t n) {
   return Status::OK();
 }
 
+Status EvalSession::BatchFetch(const size_t* order, size_t n) {
+  batch_keys_.resize(n);
+  kernel_.GatherKeys(order, n, batch_keys_.data());
+  batch_values_.resize(n);
+  if (entry_shards_.empty()) {
+    return store_->FetchBatch(batch_keys_, batch_values_, &io_);
+  }
+  batch_shards_.resize(n);
+  kernel_.GatherShards(order, n, entry_shards_.data(), batch_shards_.data());
+  return store_->FetchBatchRouted(batch_keys_, batch_shards_, batch_values_,
+                                  &io_);
+}
+
 Result<size_t> EvalSession::StepBatch(size_t n) {
   WB_CHECK(!options_.block_of) << "StepBatch() on a block-granularity session";
   n = std::min<size_t>(n, TotalSteps() - StepsTaken());
   if (n == 0) return static_cast<size_t>(0);
   telemetry::ScopedSpan span("session_step");
   const size_t* order = permutation_.data() + steps_taken_;
-  batch_keys_.resize(n);
-  kernel_.GatherKeys(order, n, batch_keys_.data());
-  batch_values_.resize(n);
-  Status status = store_->FetchBatch(batch_keys_, batch_values_, &io_);
+  Status status = BatchFetch(order, n);
   if (!status.ok()) {
     if (options_.fault_policy == FaultPolicy::kFail) return status;
     // Degraded fallback: the all-or-nothing batch failed, so refetch key by
@@ -237,10 +255,7 @@ Result<size_t> EvalSession::StepBlock() {
   const size_t count = block.entries.size();
   // One batched fetch per block — on a BlockStore backend this touches the
   // underlying block exactly once, matching the simulated cost model.
-  batch_keys_.resize(count);
-  kernel_.GatherKeys(block.entries.data(), count, batch_keys_.data());
-  batch_values_.resize(count);
-  Status status = store_->FetchBatch(batch_keys_, batch_values_, &io_);
+  Status status = BatchFetch(block.entries.data(), count);
   if (!status.ok()) {
     if (options_.fault_policy == FaultPolicy::kFail) return status;
     // Degraded fallback, per key (see StepBatch). The block is consumed

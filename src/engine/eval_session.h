@@ -159,6 +159,12 @@ class EvalSession {
   /// export. Incomplete here so the header stays free of telemetry types.
   struct Telemetry;
 
+  /// Gathers keys (and, on a sharded plane, routing hints) for
+  /// `order[0..n)` into the batch scratch and issues the one batched fetch
+  /// of a StepBatch/StepBlock. Leaves batch_keys_/batch_values_ holding the
+  /// fetched batch.
+  Status BatchFetch(const size_t* order, size_t n);
+
   void ApplyEntry(size_t entry_idx, double data);
   /// Moves entry_idx's importance out of the remaining (unfetched) mass.
   void ConsumeImportance(size_t entry_idx);
@@ -179,6 +185,15 @@ class EvalSession {
   ApplyKernel kernel_;
   std::vector<uint64_t> batch_keys_;
   std::vector<double> batch_values_;
+
+  // Shard-aware batching over a sharded plane: when the store exposes a
+  // router with more than one shard, the shard of every master-list entry
+  // is resolved once here (routing is immutable for a live router) and
+  // each StepBatch/StepBlock hands the gathered hints to FetchBatchRouted
+  // — one scatter-gather per batch instead of a per-key routing pass.
+  // Empty on unsharded stores, which keep the exact historical call path.
+  std::vector<uint32_t> entry_shards_;
+  std::vector<uint32_t> batch_shards_;  // per-batch gather scratch
 
   // Coefficient granularity: consumption order (either a view into the
   // plan's precomputed permutation or this session's seeded random one).

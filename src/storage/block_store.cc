@@ -20,6 +20,13 @@ BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
   block_hits_metric_ = registry.GetCounter(
       "wavebatch_block_store_block_hits_total", {{"store", name()}},
       "Block-cache hits in the LRU buffer.");
+  lru_occupancy_gauge_ = registry.GetGauge(
+      "wavebatch_block_store_lru_occupancy_blocks", {{"store", name()}},
+      "Blocks currently resident in the LRU buffer.");
+  lru_capacity_gauge_ = registry.GetGauge(
+      "wavebatch_block_store_lru_capacity_blocks", {{"store", name()}},
+      "LRU buffer capacity in blocks (0 = unbuffered).");
+  lru_capacity_gauge_->Set(static_cast<double>(cache_blocks_));
 }
 
 double BlockStore::Peek(uint64_t key) const { return inner_->Peek(key); }
@@ -53,8 +60,31 @@ Result<double> BlockStore::DoFetch(uint64_t key, IoStats* io) const {
       if (io != nullptr) ++io->block_reads;
       block_reads_metric_->Add();
     }
+    lru_occupancy_gauge_->Set(static_cast<double>(lru_.size()));
   }
   return value;
+}
+
+void BlockStore::TouchBatch(std::span<const uint64_t> keys,
+                            IoStats* io) const {
+  // Touch each distinct block once, in first-appearance order (so the LRU
+  // state after the call matches a scalar loop's up to refresh order). One
+  // lock acquisition per batch, not per key.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(keys.size());
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  for (uint64_t key : keys) {
+    const uint64_t block = key / block_size_;
+    if (!seen.insert(block).second) continue;
+    if (TouchLocked(block)) {
+      if (io != nullptr) ++io->block_hits;
+      block_hits_metric_->Add();
+    } else {
+      if (io != nullptr) ++io->block_reads;
+      block_reads_metric_->Add();
+    }
+  }
+  lru_occupancy_gauge_->Set(static_cast<double>(lru_.size()));
 }
 
 Status BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
@@ -63,25 +93,17 @@ Status BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
   // counters and the LRU untouched (all-or-nothing, like the scalar path).
   Status status = DelegateFetchBatch(*inner_, keys, out, io);
   if (!status.ok()) return status;
-  // Touch each distinct block once, in first-appearance order (so the LRU
-  // state after the call matches a scalar loop's up to refresh order). One
-  // lock acquisition per batch, not per key.
-  std::unordered_set<uint64_t> seen;
-  seen.reserve(keys.size());
-  {
-    std::lock_guard<std::mutex> lock(lru_mu_);
-    for (uint64_t key : keys) {
-      const uint64_t block = key / block_size_;
-      if (!seen.insert(block).second) continue;
-      if (TouchLocked(block)) {
-        if (io != nullptr) ++io->block_hits;
-        block_hits_metric_->Add();
-      } else {
-        if (io != nullptr) ++io->block_reads;
-        block_reads_metric_->Add();
-      }
-    }
-  }
+  TouchBatch(keys, io);
+  return Status::OK();
+}
+
+Status BlockStore::DoFetchBatchRouted(std::span<const uint64_t> keys,
+                                      std::span<const uint32_t> shards,
+                                      std::span<double> out,
+                                      IoStats* io) const {
+  Status status = DelegateFetchBatchRouted(*inner_, keys, shards, out, io);
+  if (!status.ok()) return status;
+  TouchBatch(keys, io);
   return Status::OK();
 }
 

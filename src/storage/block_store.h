@@ -41,6 +41,11 @@ class BlockStore : public CoefficientStore {
       const std::function<void(uint64_t, double)>& fn) const override;
   std::string name() const override;
 
+  /// Forwards the inner store's partition so routing hints survive the
+  /// block-granularity wrapper (a sharded plane is often block-simulated
+  /// per shard or wrapped whole).
+  const KeyRouter* router() const override { return inner_->router(); }
+
   uint64_t block_size() const { return block_size_; }
 
  protected:
@@ -57,10 +62,20 @@ class BlockStore : public CoefficientStore {
   Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
                       IoStats* io) const override;
 
+  /// Same distinct-block-once batching, with the routing hints forwarded to
+  /// the inner backend (the block model is orthogonal to routing).
+  Status DoFetchBatchRouted(std::span<const uint64_t> keys,
+                            std::span<const uint32_t> shards,
+                            std::span<double> out, IoStats* io) const override;
+
  private:
   /// Records the block access; returns true on cache hit. Caller must hold
   /// lru_mu_.
   bool TouchLocked(uint64_t block) const;
+
+  /// Post-success block accounting shared by both batch hooks: touches each
+  /// distinct block of `keys` once, in first-appearance order.
+  void TouchBatch(std::span<const uint64_t> keys, IoStats* io) const;
 
   std::unique_ptr<CoefficientStore> inner_;
   uint64_t block_size_;
@@ -77,6 +92,11 @@ class BlockStore : public CoefficientStore {
   /// name; bound in the constructor body (name() is virtual).
   telemetry::Counter* block_reads_metric_;
   telemetry::Counter* block_hits_metric_;
+  /// Cache-pressure gauge pair: blocks currently buffered vs. the buffer's
+  /// capacity. Operators (and the hot-tier rebalancer) read the ratio to
+  /// see how full the simulated buffer pool runs.
+  telemetry::Gauge* lru_occupancy_gauge_;
+  telemetry::Gauge* lru_capacity_gauge_;
 };
 
 }  // namespace wavebatch

@@ -14,6 +14,8 @@
 
 namespace wavebatch {
 
+class KeyRouter;
+
 /// I/O accounting for the paper's cost model: every coefficient retrieved
 /// from secondary storage costs one unit (Section 1.3 assumes array- or
 /// hash-based storage with constant-time access to single values and no
@@ -145,28 +147,26 @@ class CoefficientStore {
   Status FetchBatch(std::span<const uint64_t> keys, std::span<double> out,
                     IoStats* io = nullptr) const {
     WB_CHECK_EQ(keys.size(), out.size());
-    if (!telemetry::Enabled()) {
-      Status status = DoFetchBatch(keys, out, io);
-      if (status.ok() && io != nullptr) io->retrievals += keys.size();
-      return status;
-    }
-    const auto begin = std::chrono::steady_clock::now();
-    Status status = DoFetchBatch(keys, out, io);
-    const auto end = std::chrono::steady_clock::now();
-    const StoreFetchMetrics& m = FetchTelemetry();
-    m.batch_latency_ns->Observe(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
-            .count()));
-    telemetry::MetricsRegistry::Default().RecordSpan("store_fetch_batch",
-                                                     begin, end);
-    if (status.ok()) {
-      if (io != nullptr) io->retrievals += keys.size();
-      m.keys_fetched->Add(keys.size());
-      m.bytes_fetched->Add(keys.size() * sizeof(double));
-    } else {
-      m.CountError(status.code());
-    }
-    return status;
+    return CountedBatch(keys.size(), io, [&] {
+      return DoFetchBatch(keys, out, io);
+    });
+  }
+
+  /// FetchBatch with precomputed routing hints: shards[i] is the shard that
+  /// owns keys[i] under this store's router(). Identical contract and
+  /// accounting to FetchBatch — a store without a router (or one that does
+  /// not override DoFetchBatchRouted) ignores the hints entirely, so
+  /// calling this on any store is always correct, never required. The
+  /// hints exist so the engine can compute routing once per plan instead of
+  /// once per batch (the shard of a key never changes for a live router).
+  Status FetchBatchRouted(std::span<const uint64_t> keys,
+                          std::span<const uint32_t> shards,
+                          std::span<double> out, IoStats* io = nullptr) const {
+    WB_CHECK_EQ(keys.size(), out.size());
+    WB_CHECK_EQ(keys.size(), shards.size());
+    return CountedBatch(keys.size(), io, [&] {
+      return DoFetchBatchRouted(keys, shards, out, io);
+    });
   }
 
   /// Adds `delta` to the coefficient at `key` (the tuple-insertion path).
@@ -186,6 +186,13 @@ class CoefficientStore {
       const std::function<void(uint64_t, double)>& fn) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// The key-space partition this store serves, or nullptr for the common
+  /// single-plane case. A non-null router is a promise: FetchBatchRouted
+  /// hints computed with it stay valid for the store's lifetime (routing is
+  /// immutable; only tier placement behind a shard may change). Decorators
+  /// forward the inner store's router so hints survive wrapping.
+  virtual const KeyRouter* router() const { return nullptr; }
 
  protected:
   /// Backend hook for one counted retrieval. Retrieval accounting is done
@@ -213,6 +220,17 @@ class CoefficientStore {
     return Status::OK();
   }
 
+  /// Backend hook for a routed batch. The default discards the hints and
+  /// runs the plain batch hook — correct for every unsharded backend.
+  /// ShardedStore overrides this to skip its per-key routing pass;
+  /// decorators override it to forward the hints to their inner store.
+  virtual Status DoFetchBatchRouted(std::span<const uint64_t> keys,
+                                    std::span<const uint32_t> shards,
+                                    std::span<double> out, IoStats* io) const {
+    (void)shards;
+    return DoFetchBatch(keys, out, io);
+  }
+
   /// Delegation helpers for decorator backends (BlockStore,
   /// FaultInjectionStore): invoke another store's hooks directly — an
   /// *uncounted* read that still propagates errors and the inner backend's
@@ -227,8 +245,44 @@ class CoefficientStore {
                                    std::span<double> out, IoStats* io) {
     return inner.DoFetchBatch(keys, out, io);
   }
+  static Status DelegateFetchBatchRouted(const CoefficientStore& inner,
+                                         std::span<const uint64_t> keys,
+                                         std::span<const uint32_t> shards,
+                                         std::span<double> out, IoStats* io) {
+    return inner.DoFetchBatchRouted(keys, shards, out, io);
+  }
 
  private:
+  /// Shared accounting/telemetry wrapper for both batch entry points:
+  /// `hook` runs the backend, the wrapper charges `n` retrievals on
+  /// success only and records batch latency + error counters exactly as
+  /// the historical FetchBatch did.
+  template <typename Hook>
+  Status CountedBatch(size_t n, IoStats* io, Hook&& hook) const {
+    if (!telemetry::Enabled()) {
+      Status status = hook();
+      if (status.ok() && io != nullptr) io->retrievals += n;
+      return status;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    Status status = hook();
+    const auto end = std::chrono::steady_clock::now();
+    const StoreFetchMetrics& m = FetchTelemetry();
+    m.batch_latency_ns->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count()));
+    telemetry::MetricsRegistry::Default().RecordSpan("store_fetch_batch",
+                                                     begin, end);
+    if (status.ok()) {
+      if (io != nullptr) io->retrievals += n;
+      m.keys_fetched->Add(n);
+      m.bytes_fetched->Add(n * sizeof(double));
+    } else {
+      m.CountError(status.code());
+    }
+    return status;
+  }
+
   /// Fast path for the wrapper instrumentation: one acquire load once the
   /// handles are bound. The slow path (first instrumented fetch on this
   /// instance) interns the handles by name().

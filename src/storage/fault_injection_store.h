@@ -78,6 +78,10 @@ class FaultInjectionStore : public CoefficientStore {
   }
   std::string name() const override { return "faulty(" + inner_->name() + ")"; }
 
+  /// Forwards the inner store's partition: a faulty sharded plane routes
+  /// exactly like a healthy one (faults hit the counted path, not routing).
+  const KeyRouter* router() const override { return inner_->router(); }
+
  protected:
   Result<double> DoFetch(uint64_t key, IoStats* io) const override;
 
@@ -88,6 +92,11 @@ class FaultInjectionStore : public CoefficientStore {
   /// through.
   Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
                       IoStats* io) const override;
+
+  /// Same schedule, hints forwarded to the inner backend on the clean path.
+  Status DoFetchBatchRouted(std::span<const uint64_t> keys,
+                            std::span<const uint32_t> shards,
+                            std::span<double> out, IoStats* io) const override;
 
  private:
   /// Advances the fetch ordinal for `key` and returns the injected fault,

@@ -94,6 +94,12 @@ void FileStore::Add(uint64_t key, double delta) {
       << "short write to " << path_;
 }
 
+void FileStore::SimulateSeek() const {
+  if (options_.simulated_seek_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.simulated_seek_latency);
+  }
+}
+
 Status FileStore::PreadFully(void* buf, size_t len, uint64_t offset) const {
   size_t filled = 0;
   int attempts = 0;
@@ -139,6 +145,7 @@ Result<double> FileStore::DoFetch(uint64_t key, IoStats*) const {
                               " outside file store capacity " +
                               std::to_string(capacity_));
   }
+  SimulateSeek();
   double value = 0.0;
   Status status = PreadFully(&value, sizeof(value), key * sizeof(double));
   if (!status.ok()) return status;
@@ -156,6 +163,7 @@ constexpr size_t kParallelFetchThreshold = 256;
 Status FileStore::ReadRun(const Run& run, std::span<const uint64_t> keys,
                           std::span<const size_t> order,
                           std::span<double> out) const {
+  SimulateSeek();
   const size_t count = static_cast<size_t>(run.last_key - run.first_key + 1);
   std::vector<double> buffer(count);
   Status status = PreadFully(buffer.data(), count * sizeof(double),

@@ -20,6 +20,14 @@ struct FileStoreOptions {
   int max_read_attempts = 3;
   /// Sleep between attempts, multiplied by the attempt number.
   std::chrono::microseconds retry_backoff{100};
+  /// Latency injected before every positioned read on the *counted* path
+  /// (one per scalar fetch, one per coalesced run of a batch), modeling the
+  /// seek/queue delay of the device behind this store. 0 (the default)
+  /// injects nothing. The sharded bench uses this to model one independent
+  /// device per shard: concurrent shards overlap their seeks, which is
+  /// precisely the latency sharding buys on real hardware. Peek and the
+  /// sequential scans stay latency-free (they are the uncounted paths).
+  std::chrono::microseconds simulated_seek_latency{0};
 };
 
 /// A coefficient store backed by a binary file on disk — the paper's
@@ -89,6 +97,9 @@ class FileStore : public CoefficientStore {
   /// retrying transient errors per `options_`. Distinguishes unexpected
   /// EOF (pread returning 0) from read errors in the Status message.
   Status PreadFully(void* buf, size_t len, uint64_t offset) const;
+
+  /// Sleeps options_.simulated_seek_latency (no-op at the 0 default).
+  void SimulateSeek() const;
 
   /// Reads `run` with one coalesced positioned read and scatters into `out`
   /// via `order` (indices into keys/out, sorted by key).

@@ -1,0 +1,333 @@
+#include "storage/sharded_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+ShardedStore::ShardedStore(
+    std::vector<std::unique_ptr<CoefficientStore>> shards, KeyRouter router,
+    ShardedStoreOptions options)
+    : router_(std::move(router)),
+      shards_(std::move(shards)),
+      options_(options) {
+  WB_CHECK(!shards_.empty());
+  WB_CHECK_EQ(shards_.size(), router_.num_shards());
+  for (const auto& shard : shards_) WB_CHECK(shard != nullptr);
+  shard_counters_ = std::make_unique<ShardCounters[]>(shards_.size());
+  if (options_.threads_per_shard > 0) {
+    pools_.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      pools_.push_back(
+          std::make_unique<ThreadPool>(options_.threads_per_shard));
+    }
+  }
+
+  auto& registry = telemetry::MetricsRegistry::Default();
+  const std::string store = name();
+  shard_keys_metric_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_keys_metric_.push_back(registry.GetCounter(
+        "wavebatch_sharded_shard_keys_total",
+        {{"store", store}, {"shard", std::to_string(s)}},
+        "Counted keys served by this shard's backend (cold path)."));
+  }
+  const std::string tier_help = "Counted keys served, split by tier.";
+  hot_keys_metric_ =
+      registry.GetCounter("wavebatch_sharded_tier_keys_total",
+                          {{"store", store}, {"tier", "hot"}}, tier_help);
+  cold_keys_metric_ =
+      registry.GetCounter("wavebatch_sharded_tier_keys_total",
+                          {{"store", store}, {"tier", "cold"}}, tier_help);
+  subbatches_metric_ = registry.GetCounter(
+      "wavebatch_sharded_subbatches_total", {{"store", store}},
+      "Per-shard sub-batches issued by batch scatter-gather.");
+  hot_ranges_gauge_ =
+      registry.GetGauge("wavebatch_sharded_hot_ranges", {{"store", store}},
+                        "Key ranges replicated in the hot tier.");
+  hot_keys_gauge_ =
+      registry.GetGauge("wavebatch_sharded_hot_keys", {{"store", store}},
+                        "Nonzero coefficients replicated in the hot tier.");
+  epoch_gauge_ =
+      registry.GetGauge("wavebatch_sharded_epoch", {{"store", store}},
+                        "Tiering epoch (Rebalance() count).");
+}
+
+ShardedStore::~ShardedStore() = default;
+
+std::string ShardedStore::name() const {
+  return "sharded[" + std::to_string(shards_.size()) + "](" +
+         shards_[0]->name() + ")";
+}
+
+double ShardedStore::Peek(uint64_t key) const {
+  // The owning shard is authoritative: Peek bypasses the hot tier (whose
+  // snapshot may lag an Add) exactly because it is the trusted path.
+  return shards_[router_.ShardOf(key)]->Peek(key);
+}
+
+void ShardedStore::Add(uint64_t key, double delta) {
+  shards_[router_.ShardOf(key)]->Add(key, delta);
+}
+
+uint64_t ShardedStore::NumNonZero() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->ForEachNonZero([&](uint64_t key, double) {
+      if (router_.ShardOf(key) == s) ++total;
+    });
+  }
+  return total;
+}
+
+double ShardedStore::SumAbs() const {
+  double total = 0.0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->ForEachNonZero([&](uint64_t key, double value) {
+      if (router_.ShardOf(key) == s) total += std::abs(value);
+    });
+  }
+  return total;
+}
+
+void ShardedStore::ForEachNonZero(
+    const std::function<void(uint64_t, double)>& fn) const {
+  // Shard order; within a shard, the backend's own order. Keys a shard
+  // holds but does not own (possible when a backend spans the full key
+  // space) are skipped — the router is the single source of ownership.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->ForEachNonZero([&](uint64_t key, double value) {
+      if (router_.ShardOf(key) == s) fn(key, value);
+    });
+  }
+}
+
+uint64_t ShardedStore::shard_keys_fetched(size_t s) const {
+  WB_CHECK(s < shards_.size());
+  return shard_counters_[s].keys_fetched.load(std::memory_order_relaxed);
+}
+
+void ShardedStore::RecordRangeHits(
+    const std::unordered_map<uint64_t, uint64_t>& batch_hits) const {
+  if (batch_hits.empty()) return;
+  std::lock_guard<std::mutex> lock(hits_mu_);
+  for (const auto& [range, hits] : batch_hits) range_hits_[range] += hits;
+}
+
+Result<double> ShardedStore::DoFetch(uint64_t key, IoStats* io) const {
+  const std::shared_ptr<const HotTier> tier = PinTier();
+  const bool track = options_.promote_min_fetches > 0;
+  if (tier != nullptr && tier->ranges.contains(RangeOf(key))) {
+    const auto it = tier->values.find(key);
+    const double value = it != tier->values.end() ? it->second : 0.0;
+    hot_hits_.fetch_add(1, std::memory_order_relaxed);
+    hot_keys_metric_->Add(1);
+    if (track) RecordRangeHits({{RangeOf(key), 1}});
+    return value;
+  }
+  const uint32_t s = router_.ShardOf(key);
+  Result<double> value = DelegateFetch(*shards_[s], key, io);
+  if (value.ok()) {
+    shard_counters_[s].keys_fetched.fetch_add(1, std::memory_order_relaxed);
+    shard_keys_metric_[s]->Add(1);
+    cold_keys_metric_->Add(1);
+    if (track) RecordRangeHits({{RangeOf(key), 1}});
+  }
+  return value;
+}
+
+Status ShardedStore::DoFetchBatch(std::span<const uint64_t> keys,
+                                  std::span<double> out, IoStats* io) const {
+  // No hints from the caller: one routing pass here, then the shared core.
+  std::vector<uint32_t> shards_of(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    shards_of[i] = router_.ShardOf(keys[i]);
+  }
+  return FetchScatterGather(keys, shards_of, out, io);
+}
+
+Status ShardedStore::DoFetchBatchRouted(std::span<const uint64_t> keys,
+                                        std::span<const uint32_t> shards,
+                                        std::span<double> out,
+                                        IoStats* io) const {
+  return FetchScatterGather(keys, shards, out, io);
+}
+
+Status ShardedStore::FetchScatterGather(std::span<const uint64_t> keys,
+                                        std::span<const uint32_t> shards_of,
+                                        std::span<double> out,
+                                        IoStats* io) const {
+  const size_t n = keys.size();
+  if (n == 0) return Status::OK();
+  const std::shared_ptr<const HotTier> tier = PinTier();
+  const size_t num_shards = shards_.size();
+  const bool track = options_.promote_min_fetches > 0;
+
+  std::unordered_map<uint64_t, uint64_t> batch_hits;
+  if (track) {
+    for (size_t i = 0; i < n; ++i) ++batch_hits[RangeOf(keys[i])];
+  }
+
+  // Fast path: one shard, nothing promoted — forward the span untouched.
+  // This is the S=1 plane, bit-identical to the backend by construction.
+  if (num_shards == 1 && tier == nullptr) {
+    Status status = DelegateFetchBatch(*shards_[0], keys, out, io);
+    if (status.ok()) {
+      shard_counters_[0].keys_fetched.fetch_add(n, std::memory_order_relaxed);
+      shard_keys_metric_[0]->Add(n);
+      cold_keys_metric_->Add(n);
+      subbatches_.fetch_add(1, std::memory_order_relaxed);
+      subbatches_metric_->Add(1);
+      if (track) RecordRangeHits(batch_hits);
+    }
+    return status;
+  }
+
+  // Partition batch positions: hot keys are served inline from the pinned
+  // tier; cold keys group per owning shard, preserving batch order within
+  // each group (so each sub-batch sees the same relative sequence the
+  // unsharded backend would).
+  std::vector<std::vector<size_t>> parts(num_shards);
+  size_t hot_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (tier != nullptr && tier->ranges.contains(RangeOf(keys[i]))) {
+      const auto it = tier->values.find(keys[i]);
+      out[i] = it != tier->values.end() ? it->second : 0.0;
+      ++hot_count;
+      continue;
+    }
+    const uint32_t s = shards_of[i];
+    WB_CHECK(s < num_shards);
+    parts[s].push_back(i);
+  }
+
+  struct SubBatch {
+    std::vector<uint64_t> keys;
+    std::vector<double> values;
+    IoStats io;
+    Status status;
+  };
+  std::vector<SubBatch> subs(num_shards);
+  std::vector<size_t> issued;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (parts[s].empty()) continue;
+    subs[s].keys.reserve(parts[s].size());
+    for (const size_t i : parts[s]) subs[s].keys.push_back(keys[i]);
+    subs[s].values.resize(parts[s].size());
+    issued.push_back(s);
+  }
+
+  // Fan out: shard s's sub-batch always runs on shard s's pool (thread
+  // affinity — one device queue per shard). Each task writes only its own
+  // SubBatch slot; the latch below is the only cross-task synchronization.
+  const auto run_sub = [&](size_t s) {
+    subs[s].status = DelegateFetchBatch(*shards_[s], subs[s].keys,
+                                        subs[s].values, &subs[s].io);
+  };
+  if (pools_.empty() || issued.size() <= 1) {
+    for (const size_t s : issued) run_sub(s);
+  } else {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t remaining = issued.size();
+    for (const size_t s : issued) {
+      pools_[s]->Submit([&, s] {
+        run_sub(s);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  // All-or-nothing: any failed shard fails the whole batch (the lowest
+  // shard's Status, deterministically), nothing is merged, and the wrapper
+  // charges nothing — exactly the unsharded batch contract.
+  for (const size_t s : issued) {
+    if (!subs[s].status.ok()) return subs[s].status;
+  }
+
+  for (const size_t s : issued) {
+    const std::vector<size_t>& part = parts[s];
+    for (size_t j = 0; j < part.size(); ++j) {
+      out[part[j]] = subs[s].values[j];
+    }
+    if (io != nullptr) *io += subs[s].io;
+    shard_counters_[s].keys_fetched.fetch_add(part.size(),
+                                              std::memory_order_relaxed);
+    shard_keys_metric_[s]->Add(part.size());
+  }
+  cold_keys_metric_->Add(n - hot_count);
+  if (hot_count > 0) {
+    hot_hits_.fetch_add(hot_count, std::memory_order_relaxed);
+    hot_keys_metric_->Add(hot_count);
+  }
+  subbatches_.fetch_add(issued.size(), std::memory_order_relaxed);
+  subbatches_metric_->Add(issued.size());
+  if (track) RecordRangeHits(batch_hits);
+  return Status::OK();
+}
+
+RebalanceReport ShardedStore::Rebalance() {
+  // Snapshot-and-reset the observation window.
+  std::unordered_map<uint64_t, uint64_t> hits;
+  {
+    std::lock_guard<std::mutex> lock(hits_mu_);
+    hits.swap(range_hits_);
+  }
+
+  // Rank: hottest first, ties toward the lower range id (deterministic for
+  // a deterministic workload).
+  std::vector<std::pair<uint64_t, uint64_t>> ranked;  // (range, hits)
+  if (options_.promote_min_fetches > 0) {
+    for (const auto& [range, count] : hits) {
+      if (count >= options_.promote_min_fetches) ranked.emplace_back(range, count);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (options_.max_hot_ranges > 0 && ranked.size() > options_.max_hot_ranges) {
+    ranked.resize(options_.max_hot_ranges);
+  }
+
+  auto tier = std::make_shared<HotTier>();
+  for (const auto& [range, count] : ranked) tier->ranges.insert(range);
+  if (!tier->ranges.empty()) {
+    // Snapshot the promoted ranges from their owning shards. ForEachNonZero
+    // (not Peek-per-key) so backends with bounded capacity are never probed
+    // outside it; absent keys read as 0.0 from the tier, matching every
+    // backend's absent-coefficient contract.
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->ForEachNonZero([&](uint64_t key, double value) {
+        if (router_.ShardOf(key) != s) return;
+        if (tier->ranges.contains(RangeOf(key))) tier->values.emplace(key, value);
+      });
+    }
+  }
+
+  RebalanceReport report;
+  report.hot_ranges = tier->ranges.size();
+  report.hot_keys = tier->values.size();
+  report.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  tier->epoch = report.epoch;
+  {
+    std::lock_guard<std::mutex> lock(tier_mu_);
+    // An empty tier is represented as "no tier": the read path keeps its
+    // pre-promotion fast paths and bit-identity guarantees.
+    hot_ = tier->ranges.empty() ? nullptr : std::move(tier);
+  }
+  hot_ranges_gauge_->Set(static_cast<double>(report.hot_ranges));
+  hot_keys_gauge_->Set(static_cast<double>(report.hot_keys));
+  epoch_gauge_->Set(static_cast<double>(report.epoch));
+  return report;
+}
+
+}  // namespace wavebatch

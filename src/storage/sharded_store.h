@@ -1,0 +1,208 @@
+#ifndef WAVEBATCH_STORAGE_SHARDED_STORE_H_
+#define WAVEBATCH_STORAGE_SHARDED_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/coefficient_store.h"
+#include "storage/key_router.h"
+#include "util/thread_pool.h"
+
+namespace wavebatch {
+
+/// Knobs for the sharded coefficient plane.
+struct ShardedStoreOptions {
+  /// Dedicated worker threads per shard. With N >= 1 every shard owns a
+  /// private ThreadPool and scatter-gather fans sub-batches out to those
+  /// pools (thread affinity: shard s's I/O always runs on shard s's
+  /// workers, modeling one device queue per shard). 0 disables the fan-out:
+  /// sub-batches run serially on the calling thread, in shard order — the
+  /// deterministic mode for accounting tests.
+  size_t threads_per_shard = 1;
+
+  /// Hot/cold tiering granularity: keys are grouped into ranges of
+  /// 2^hot_range_bits consecutive keys and promotion happens per range
+  /// (range id = key >> hot_range_bits).
+  uint32_t hot_range_bits = 6;
+
+  /// A range is promotion-eligible at the next Rebalance() once it has
+  /// absorbed at least this many counted fetches since the previous
+  /// Rebalance(). 0 disables promotion entirely (Rebalance() still bumps
+  /// the epoch but installs an empty tier).
+  uint64_t promote_min_fetches = 64;
+
+  /// Upper bound on simultaneously hot ranges; the hottest win (ties break
+  /// toward the lower range id). 0 means unlimited.
+  size_t max_hot_ranges = 1024;
+};
+
+/// Result of one Rebalance(): which epoch the new tier belongs to and how
+/// much of the key space it replicated.
+struct RebalanceReport {
+  uint64_t epoch = 0;
+  size_t hot_ranges = 0;
+  size_t hot_keys = 0;
+};
+
+/// The sharded coefficient plane: a CoefficientStore that range-partitions
+/// the wavelet-key space across S independent backend stores (KeyRouter
+/// decides ownership) and serves batches by scatter-gather — partition the
+/// key batch per shard, fan the sub-batches out to per-shard thread pools,
+/// merge the results. Identical contract to any other store: same values a
+/// scalar Fetch loop would produce, all-or-nothing batches, per-call
+/// IoStats sinks (a merged sink receives the *sum* of the per-shard
+/// sub-model counters, so sharding never changes the cost model — enforced
+/// by sharded_store_test against the unsharded plane).
+///
+/// Every shard is a full store over the global key space; the router alone
+/// decides which shard serves a key. That keeps shard backends oblivious
+/// to sharding (no key rebasing) and lets any backend mix serve as a
+/// shard, including decorator-wrapped ones: wrapping one shard in a
+/// FaultInjectionStore composes per-shard — a failed shard fails exactly
+/// the batches that touch its keys, which the engine's FaultPolicy::kSkip
+/// then degrades to scalar fetches, skipping only that shard's mass.
+///
+/// Hot/cold tiering: the store counts fetches per key range; an explicit
+/// Rebalance() call promotes the hottest ranges into a replicated
+/// in-memory tier (a snapshot of the owning shards' values) and retires
+/// the previous tier. Reads pin the tier once per call, so a concurrent
+/// Rebalance() never tears a batch — every key in one batch is served
+/// from one epoch's placement. Until the first Rebalance() no hot tier
+/// exists and the plane is bit-identical to its backends (including
+/// sub-model counters like block_reads); after promotion, hot keys are
+/// served from memory (no backend I/O, no block reads) while cold keys
+/// still go to their shard.
+///
+/// Writes: Add routes to the owning shard (the authoritative copy). The
+/// hot tier is a snapshot — a hot key written after promotion serves the
+/// snapshot value until the next Rebalance() refreshes it. Load or
+/// maintain the plane first, then share it read-only, exactly like every
+/// other store.
+class ShardedStore : public CoefficientStore {
+ public:
+  /// Takes ownership of `shards`; requires shards.size() ==
+  /// router.num_shards() >= 1.
+  ShardedStore(std::vector<std::unique_ptr<CoefficientStore>> shards,
+               KeyRouter router,
+               ShardedStoreOptions options = ShardedStoreOptions());
+  ~ShardedStore() override;
+
+  double Peek(uint64_t key) const override;
+  void Add(uint64_t key, double delta) override;
+  uint64_t NumNonZero() const override;
+  double SumAbs() const override;
+  void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const override;
+  std::string name() const override;
+  const KeyRouter* router() const override { return &router_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const CoefficientStore& shard(size_t s) const { return *shards_[s]; }
+  const ShardedStoreOptions& options() const { return options_; }
+
+  /// Recomputes hot-tier placement from the fetch counts observed since the
+  /// last Rebalance(): ranges with >= promote_min_fetches hits are ranked
+  /// (hits descending, range id ascending), the top max_hot_ranges are
+  /// snapshotted from their owning shards into a fresh in-memory tier, the
+  /// tier is swapped in atomically, and the epoch advances. In-flight
+  /// batches keep the tier they pinned; new ones see the new placement.
+  /// Safe to call concurrently with reads (the race surface exercised by
+  /// the TSan job).
+  RebalanceReport Rebalance();
+
+  /// Tiering epoch: 0 before the first Rebalance(), +1 per Rebalance().
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Counted keys served from the in-memory hot tier.
+  uint64_t hot_hits() const {
+    return hot_hits_.load(std::memory_order_relaxed);
+  }
+  /// Counted keys served by shard s's backend (cold path).
+  uint64_t shard_keys_fetched(size_t s) const;
+  /// Per-shard sub-batches issued by batch scatter-gather. Deterministic
+  /// for a fixed workload and shard count — the machine-independent
+  /// routing counter the bench baseline gates on.
+  uint64_t subbatches_issued() const {
+    return subbatches_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Result<double> DoFetch(uint64_t key, IoStats* io) const override;
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
+  Status DoFetchBatchRouted(std::span<const uint64_t> keys,
+                            std::span<const uint32_t> shards,
+                            std::span<double> out, IoStats* io) const override;
+
+ private:
+  /// One immutable tier placement. Readers pin it by copying the
+  /// shared_ptr under tier_mu_ (one lock per call), so Rebalance() swapping
+  /// in a successor can never tear a read.
+  struct HotTier {
+    uint64_t epoch = 0;
+    std::unordered_set<uint64_t> ranges;
+    std::unordered_map<uint64_t, double> values;  // nonzero snapshot
+  };
+
+  struct alignas(64) ShardCounters {
+    std::atomic<uint64_t> keys_fetched{0};
+  };
+
+  std::shared_ptr<const HotTier> PinTier() const {
+    std::lock_guard<std::mutex> lock(tier_mu_);
+    return hot_;
+  }
+
+  uint64_t RangeOf(uint64_t key) const {
+    return key >> options_.hot_range_bits;
+  }
+
+  /// The scatter-gather core shared by both batch hooks. `shards_of` has
+  /// one shard id per key (precomputed hints or this call's routing pass).
+  Status FetchScatterGather(std::span<const uint64_t> keys,
+                            std::span<const uint32_t> shards_of,
+                            std::span<double> out, IoStats* io) const;
+
+  /// Merges a batch's per-range hit counts into the promotion stats.
+  void RecordRangeHits(
+      const std::unordered_map<uint64_t, uint64_t>& batch_hits) const;
+
+  KeyRouter router_;
+  std::vector<std::unique_ptr<CoefficientStore>> shards_;
+  ShardedStoreOptions options_;
+
+  /// Declared after shards_ so pools join (and drop their last references
+  /// to shard backends) before any shard is destroyed.
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
+
+  mutable std::mutex tier_mu_;
+  std::shared_ptr<const HotTier> hot_;  // null until the first promotion
+  std::atomic<uint64_t> epoch_{0};
+
+  mutable std::mutex hits_mu_;
+  mutable std::unordered_map<uint64_t, uint64_t> range_hits_;
+
+  std::unique_ptr<ShardCounters[]> shard_counters_;
+  mutable std::atomic<uint64_t> hot_hits_{0};
+  mutable std::atomic<uint64_t> subbatches_{0};
+
+  /// Process-wide shard/tier telemetry, labeled by store name (and shard
+  /// ordinal where applicable); bound in the constructor body.
+  std::vector<telemetry::Counter*> shard_keys_metric_;
+  telemetry::Counter* hot_keys_metric_;
+  telemetry::Counter* cold_keys_metric_;
+  telemetry::Counter* subbatches_metric_;
+  telemetry::Gauge* hot_ranges_gauge_;
+  telemetry::Gauge* hot_keys_gauge_;
+  telemetry::Gauge* epoch_gauge_;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_SHARDED_STORE_H_

@@ -6,6 +6,7 @@
 #include "storage/coefficient_store.h"
 #include "storage/dense_store.h"
 #include "storage/memory_store.h"
+#include "telemetry/metrics.h"
 
 namespace wavebatch {
 namespace {
@@ -178,6 +179,32 @@ TEST(BlockStoreTest, LruTouchRefreshes) {
   store.Fetch(2, &io);   // block 0 (hit)
   EXPECT_EQ(io.block_reads, 3u);
   EXPECT_EQ(io.block_hits, 2u);
+}
+
+TEST(BlockStoreTest, LruGaugesTrackOccupancyAndCapacity) {
+  // The occupancy/capacity gauge pair is last-write-wins per (name, store)
+  // label set; constructing the store re-publishes capacity and every touch
+  // section republishes occupancy, so reading after each fetch is exact.
+  telemetry::MetricsRegistry::Enable();
+  BlockStore store(MakeInner(), /*block_size=*/8, /*cache_blocks=*/2);
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Default();
+  telemetry::Gauge* occupancy = registry.GetGauge(
+      "wavebatch_block_store_lru_occupancy_blocks", {{"store", store.name()}});
+  telemetry::Gauge* capacity = registry.GetGauge(
+      "wavebatch_block_store_lru_capacity_blocks", {{"store", store.name()}});
+  EXPECT_DOUBLE_EQ(capacity->Value(), 2.0);
+
+  store.Fetch(0);  // block 0
+  EXPECT_DOUBLE_EQ(occupancy->Value(), 1.0);
+  store.Fetch(8);  // block 1 — buffer full
+  EXPECT_DOUBLE_EQ(occupancy->Value(), 2.0);
+  store.Fetch(16);  // block 2 evicts block 0 — occupancy stays at capacity
+  EXPECT_DOUBLE_EQ(occupancy->Value(), 2.0);
+
+  std::vector<uint64_t> keys = {24, 25, 32};  // batch path updates it too
+  std::vector<double> out(keys.size());
+  ASSERT_TRUE(store.FetchBatch(keys, out).ok());
+  EXPECT_DOUBLE_EQ(occupancy->Value(), 2.0);
 }
 
 TEST(BlockStoreTest, UnbufferedEveryBlockAccessReads) {
