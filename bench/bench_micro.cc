@@ -7,10 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/master_list.h"
@@ -27,6 +29,7 @@
 #include "storage/key_router.h"
 #include "storage/memory_store.h"
 #include "storage/sharded_store.h"
+#include "storage/versioned_store.h"
 #include "strategy/prefix_sum_strategy.h"
 #include "strategy/wavelet_strategy.h"
 #include "telemetry/export.h"
@@ -578,6 +581,89 @@ void BM_ShardedFetchBatch(benchmark::State& state) {
 BENCHMARK(BM_ShardedFetchBatch)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->ArgNames({"shards"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IngestThroughput(benchmark::State& state) {
+  // The full streaming write path: tuple -> TransformUpdate delta ->
+  // versioned-plane apply. One iteration ingests a fixed 64-tuple pool and
+  // publishes an epoch; update_entries counts coefficient entries applied,
+  // an exact function of the schema, filter, and tuple pool (the paper's
+  // O((2δ+2)^d log^d N) per-tuple update cost), so bench_compare gates it.
+  const size_t d = static_cast<size_t>(state.range(0));
+  const WaveletKind kind =
+      state.range(1) == 0 ? WaveletKind::kHaar : WaveletKind::kDb4;
+  Schema schema = Schema::Uniform(d, d == 3 ? 16 : 64);
+  WaveletStrategy strategy(schema, kind);
+  Relation seed_rel = MakeUniformRelation(schema, 400, 3);
+  VersionedStore store(strategy.BuildStore(seed_rel.FrequencyDistribution()));
+  const Relation pool = MakeUniformRelation(schema, 64, 29);
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    for (const Tuple& t : pool.tuples()) {
+      Result<SparseVec> delta = strategy.TransformUpdate(t, 1.0);
+      entries += delta.value().size();
+      store.Ingest(*delta);
+    }
+    store.Publish();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.tuples().size()));
+  state.counters["update_entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_IngestThroughput)
+    ->ArgsProduct({{2, 3}, {0, 1}})
+    ->ArgNames({"d", "db4"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FetchUnderIngest(benchmark::State& state) {
+  // Read latency with a live writer: a background thread ingests,
+  // publishes every 32 tuples, and folds every 1024 while the timed loop
+  // runs batched reads through the epoch-pinned snapshot path. Real time —
+  // the quantity under test is wall-clock interference, not CPU work.
+  // writer:0 is the control (same store, no concurrent writes).
+  const bool writer_on = state.range(0) != 0;
+  Schema schema = Schema::Uniform(2, 64);
+  WaveletStrategy strategy(schema, WaveletKind::kHaar);
+  Relation rel = MakeUniformRelation(schema, 2000, 3);
+  VersionedStore store(strategy.BuildStore(rel.FrequencyDistribution()));
+
+  std::vector<uint64_t> keys;
+  store.ForEachNonZero([&](uint64_t key, double) {
+    if (keys.size() < 256) keys.push_back(key);
+  });
+  std::vector<double> out(keys.size());
+
+  const Relation stream = MakeUniformRelation(schema, 256, 31);
+  std::vector<SparseVec> deltas;
+  for (const Tuple& t : stream.tuples()) {
+    deltas.push_back(strategy.TransformUpdate(t, 1.0).value());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (writer_on) {
+    writer = std::thread([&] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        store.Ingest(deltas[i % deltas.size()]);
+        if (++i % 32 == 0) store.Publish();
+        if (i % 1024 == 0) store.Merge();
+      }
+    });
+  }
+  for (auto _ : state) {
+    IoStats io;
+    WB_CHECK_OK(store.FetchBatch(keys, out, &io));
+    benchmark::DoNotOptimize(out.data());
+  }
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_FetchUnderIngest)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"writer"})
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 

@@ -63,6 +63,16 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
       options_(std::move(options)) {
   WB_CHECK(plan_ != nullptr);
   WB_CHECK(store_ != nullptr);
+  // Epoch pinning: a store whose contents advance in epochs
+  // (VersionedStore) hands back an immutable snapshot of the epoch current
+  // *now*; every read this session ever issues — including retries and
+  // resume-after-fault, which may happen long after — goes to that one
+  // version, so interleaved ingests and merges can never tear a
+  // progressive run. Stores that are their own snapshot return null and
+  // are used directly.
+  if (std::shared_ptr<const CoefficientStore> pinned = store_->PinVersion()) {
+    store_ = std::move(pinned);
+  }
   kernel_ = plan_->kernel();
   if (const KeyRouter* router = store_->router();
       router != nullptr && router->num_shards() > 1) {

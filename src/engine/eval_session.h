@@ -73,7 +73,9 @@ class EvalSession {
   using Options = EvalSessionOptions;
 
   /// The session keeps `plan` and `store` alive; it may safely outlive the
-  /// scope that created it.
+  /// scope that created it. If `store` versions its contents (see
+  /// CoefficientStore::PinVersion), the session pins the current epoch's
+  /// snapshot here and reads it for its whole lifetime.
   EvalSession(std::shared_ptr<const EvalPlan> plan,
               std::shared_ptr<const CoefficientStore> store,
               Options options = Options());
@@ -82,6 +84,10 @@ class EvalSession {
   EvalSession& operator=(EvalSession&&) noexcept;
 
   const EvalPlan& plan() const { return *plan_; }
+  /// The store this session actually reads: the one passed in, or — when
+  /// that store versions its contents (VersionedStore) — the immutable
+  /// epoch snapshot pinned at construction.
+  const CoefficientStore& store() const { return *store_; }
   const Options& options() const { return options_; }
   size_t num_queries() const { return plan_->num_queries(); }
   /// Total steps to exactness (= master list size).

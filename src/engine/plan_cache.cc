@@ -44,7 +44,8 @@ using fingerprint::AppendU64;
 
 std::string PlanCache::Fingerprint(const QueryBatch& batch,
                                    const LinearStrategy& strategy,
-                                   const PenaltyFunction* penalty) {
+                                   const PenaltyFunction* penalty,
+                                   uint64_t data_epoch) {
   std::string key;
   key += strategy.name();
   key += '\0';
@@ -75,6 +76,7 @@ std::string PlanCache::Fingerprint(const QueryBatch& batch,
       for (uint32_t e : m.exponents) AppendU64(key, e);
     }
   }
+  AppendU64(key, data_epoch);
   return key;
 }
 
@@ -84,9 +86,10 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
 
 Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
     const QueryBatch& batch, const LinearStrategy& strategy,
-    std::shared_ptr<const PenaltyFunction> penalty) {
+    std::shared_ptr<const PenaltyFunction> penalty, uint64_t data_epoch) {
   telemetry::ScopedSpan span("plan_cache_lookup");
-  const std::string key = Fingerprint(batch, strategy, penalty.get());
+  const std::string key =
+      Fingerprint(batch, strategy, penalty.get(), data_epoch);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = by_key_.find(key);
@@ -94,7 +97,7 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
       CacheMetrics().hits->Add();
-      return it->second->second;
+      return it->second->plan;
     }
     ++misses_;
     CacheMetrics().misses->Add();
@@ -110,12 +113,12 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
     auto it = by_key_.find(key);
     if (it != by_key_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      it->second->second = plan.value();
+      it->second->plan = plan.value();
     } else {
-      lru_.emplace_front(key, plan.value());
+      lru_.push_front(Entry{key, plan.value(), data_epoch});
       by_key_[key] = lru_.begin();
       if (lru_.size() > capacity_) {
-        by_key_.erase(lru_.back().first);
+        by_key_.erase(lru_.back().key);
         lru_.pop_back();
         ++evictions_;
         CacheMetrics().evictions->Add();
@@ -123,6 +126,23 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
     }
   }
   return plan;
+}
+
+size_t PlanCache::InvalidateStale(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->data_epoch < min_epoch) {
+      by_key_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += dropped;
+  if (dropped > 0) CacheMetrics().evictions->Add(dropped);
+  return dropped;
 }
 
 uint64_t PlanCache::hits() const {

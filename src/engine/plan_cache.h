@@ -31,11 +31,30 @@ class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 64);
 
-  /// Returns the cached plan for this (batch, strategy, penalty) or builds,
-  /// caches, and returns a fresh one. Build failures are not cached.
+  /// Returns the cached plan for this (batch, strategy, penalty,
+  /// data_epoch) or builds, caches, and returns a fresh one. Build failures
+  /// are not cached.
+  ///
+  /// `data_epoch` is the coefficient plane's published epoch the plan is
+  /// built against (VersionedStore::epoch(); 0 for static stores — the
+  /// default keeps every existing caller and key byte-identical). Today a
+  /// plan depends only on the batch, strategy, and penalty, so plans built
+  /// at different epochs are equal — but the epoch still participates in
+  /// the key and is recorded on the entry, so (a) a caller that derives
+  /// plan state from data (future importance refinements) gets distinct
+  /// plans per epoch for free, and (b) InvalidateStale() can drop plans
+  /// from superseded epochs.
   Result<std::shared_ptr<const EvalPlan>> GetOrBuild(
       const QueryBatch& batch, const LinearStrategy& strategy,
-      std::shared_ptr<const PenaltyFunction> penalty);
+      std::shared_ptr<const PenaltyFunction> penalty, uint64_t data_epoch = 0);
+
+  /// Drops every cached plan built against a data epoch older than
+  /// `min_epoch` and returns how many were dropped (counted as evictions).
+  /// Ingestion pipelines call this after a merge publishes epoch E with
+  /// min_epoch = E to bound the lifetime of plans pinned to superseded
+  /// versions; plans at epoch >= min_epoch (and static epoch-0 plans when
+  /// min_epoch == 0) survive.
+  size_t InvalidateStale(uint64_t min_epoch);
 
   uint64_t hits() const;
   uint64_t misses() const;
@@ -48,20 +67,29 @@ class PlanCache {
   static PlanCache& Shared();
 
   /// The cache key: a byte-exact fingerprint of the batch's schema, every
-  /// query's intervals and monomials, the strategy name, and the penalty's
-  /// content fingerprint. Exposed for tests.
+  /// query's intervals and monomials, the strategy name, the penalty's
+  /// content fingerprint, and the data epoch (0 reproduces the historical
+  /// epoch-free key bytes... plus the appended zero, distinct from every
+  /// nonzero epoch). Exposed for tests.
   static std::string Fingerprint(const QueryBatch& batch,
                                  const LinearStrategy& strategy,
-                                 const PenaltyFunction* penalty);
+                                 const PenaltyFunction* penalty,
+                                 uint64_t data_epoch = 0);
 
  private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const EvalPlan> plan;
+    uint64_t data_epoch;
+  };
+
   const size_t capacity_;
   mutable std::mutex mu_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   // LRU: most recent at front.
-  std::list<std::pair<std::string, std::shared_ptr<const EvalPlan>>> lru_;
+  std::list<Entry> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> by_key_;
 };
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -193,6 +194,21 @@ class CoefficientStore {
   /// immutable; only tier placement behind a shard may change). Decorators
   /// forward the inner store's router so hints survive wrapping.
   virtual const KeyRouter* router() const { return nullptr; }
+
+  /// Epoch-snapshot seam: a store whose *published contents advance in
+  /// epochs* (VersionedStore) returns an immutable snapshot of the current
+  /// epoch — a reader that pins once and serves an entire multi-call
+  /// operation (a progressive session) from the pinned store sees one
+  /// consistent version no matter how many ingests or merges land
+  /// meanwhile. The default (null) means "this store is its own snapshot":
+  /// its contents are stable for the reader's lifetime, so callers use the
+  /// store directly. Decorators deliberately do NOT forward this hook —
+  /// forwarding would hand back the naked inner snapshot and silently drop
+  /// the decorator from the read path; wrap a pinned snapshot instead when
+  /// a decorated epoch view is wanted.
+  virtual std::shared_ptr<const CoefficientStore> PinVersion() const {
+    return nullptr;
+  }
 
  protected:
   /// Backend hook for one counted retrieval. Retrieval accounting is done

@@ -1,0 +1,34 @@
+#include "storage/delta_store.h"
+
+namespace wavebatch {
+
+void DeltaStore::Apply(const SparseVec& delta) {
+  ++ingests_;
+  entries_applied_ += delta.size();
+  for (const SparseEntry& e : delta) adds_[e.key] += e.value;
+}
+
+void DeltaStore::ApplyOne(uint64_t key, double value) {
+  ++ingests_;
+  ++entries_applied_;
+  adds_[key] += value;
+}
+
+std::shared_ptr<const DeltaOverlay> DeltaStore::Seal(
+    const DeltaOverlay* under) const {
+  if (adds_.empty() && (under == nullptr || under->empty())) return nullptr;
+  auto overlay = std::make_shared<DeltaOverlay>();
+  if (under != nullptr) {
+    overlay->adds = under->adds;
+    overlay->ingests = under->ingests;
+  }
+  // Same per-key consolidation an uninterrupted DeltaStore would have
+  // produced: `under`'s summed add first, then this store's summed add.
+  for (const auto& [key, value] : adds_) overlay->adds[key] += value;
+  overlay->ingests += ingests_;
+  return overlay;
+}
+
+void DeltaStore::Clear() { adds_.clear(); }
+
+}  // namespace wavebatch

@@ -1,0 +1,95 @@
+#ifndef WAVEBATCH_STORAGE_DELTA_STORE_H_
+#define WAVEBATCH_STORAGE_DELTA_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "wavelet/sparse_vec.h"
+
+namespace wavebatch {
+
+/// One sealed, immutable slice of the delta plane: the consolidated
+/// per-coefficient adds accumulated by streaming ingestion since the base
+/// store was last merged. A reader holding an overlay sees a frozen value
+/// for every key — `base value + ValueAt(key)` is the versioned plane's
+/// read equation (SnapshotStore applies it on the counted fetch path).
+///
+/// Consolidation is per key: however many tuple deltas touched a key, the
+/// overlay holds ONE summed add for it, so applying the overlay costs one
+/// floating-point addition per fetched key, and folding it into the base
+/// store (the merge) is exactly that same single addition — which is why a
+/// merge is bitwise invisible to readers (versioned_store_test proves it).
+///
+/// Exact zeros are kept, not dropped: a key whose adds cancelled to 0.0
+/// still records "this key was written", and `base + 0.0` is not a bitwise
+/// no-op for a -0.0 base value. Keeping them makes the plane a
+/// deterministic function of the ingest log alone.
+struct DeltaOverlay {
+  std::unordered_map<uint64_t, double> adds;
+  /// Ingest() calls consolidated into this overlay (tuples, for the
+  /// one-tuple-per-ingest caller).
+  uint64_t ingests = 0;
+
+  /// The summed add for `key` (0 if never written).
+  double ValueAt(uint64_t key) const {
+    const auto it = adds.find(key);
+    return it == adds.end() ? 0.0 : it->second;
+  }
+
+  size_t size() const { return adds.size(); }
+  bool empty() const { return adds.empty(); }
+};
+
+/// The mutable in-memory sparse overlay of the versioned coefficient
+/// plane: streaming writes (sparse coefficient deltas from
+/// LinearStrategy::TransformUpdate) land here, consolidated per key, until
+/// a background merge folds them into the base store.
+///
+/// DeltaStore is deliberately NOT thread-safe — it is the write-side state
+/// of VersionedStore, which serializes all access under its writer mutex.
+/// Readers never touch a DeltaStore: they read sealed DeltaOverlay
+/// snapshots, which are immutable copies taken by Seal().
+class DeltaStore {
+ public:
+  DeltaStore() = default;
+
+  /// Consolidates one sparse delta (one tuple insertion, typically) into
+  /// the overlay: adds_[key] += value per entry, in entry order.
+  void Apply(const SparseVec& delta);
+
+  /// Single-entry Apply (the CoefficientStore::Add path).
+  void ApplyOne(uint64_t key, double value);
+
+  /// Immutable snapshot of the current contents, or null when empty (the
+  /// "no overlay" fast path reads the base store untouched). When `under`
+  /// is non-null the snapshot composes on top of it: a copy of `under`'s
+  /// adds with this store's adds folded in — the view readers need while a
+  /// merge is folding `under` into the base but has not yet swapped it in.
+  std::shared_ptr<const DeltaOverlay> Seal(
+      const DeltaOverlay* under = nullptr) const;
+
+  /// Drops all accumulated adds (the merge took ownership of a sealed
+  /// copy). The ingest counter keeps running.
+  void Clear();
+
+  /// Distinct keys currently written.
+  size_t size() const { return adds_.size(); }
+  bool empty() const { return adds_.empty(); }
+  /// Apply() calls absorbed since construction (never reset).
+  uint64_t ingests() const { return ingests_; }
+  /// Sparse entries absorbed since construction (never reset).
+  uint64_t entries_applied() const { return entries_applied_; }
+
+  const std::unordered_map<uint64_t, double>& adds() const { return adds_; }
+
+ private:
+  std::unordered_map<uint64_t, double> adds_;
+  uint64_t ingests_ = 0;
+  uint64_t entries_applied_ = 0;
+};
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_STORAGE_DELTA_STORE_H_

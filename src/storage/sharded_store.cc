@@ -318,12 +318,9 @@ RebalanceReport ShardedStore::Rebalance() {
   report.hot_keys = tier->values.size();
   report.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   tier->epoch = report.epoch;
-  {
-    std::lock_guard<std::mutex> lock(tier_mu_);
-    // An empty tier is represented as "no tier": the read path keeps its
-    // pre-promotion fast paths and bit-identity guarantees.
-    hot_ = tier->ranges.empty() ? nullptr : std::move(tier);
-  }
+  // An empty tier is represented as "no tier": the read path keeps its
+  // pre-promotion fast paths and bit-identity guarantees.
+  hot_.Store(tier->ranges.empty() ? nullptr : std::move(tier));
   hot_ranges_gauge_->Set(static_cast<double>(report.hot_ranges));
   hot_keys_gauge_->Set(static_cast<double>(report.hot_keys));
   epoch_gauge_->Set(static_cast<double>(report.epoch));

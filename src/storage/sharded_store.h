@@ -13,6 +13,7 @@
 
 #include "storage/coefficient_store.h"
 #include "storage/key_router.h"
+#include "util/epoch_ptr.h"
 #include "util/thread_pool.h"
 
 namespace wavebatch {
@@ -141,9 +142,9 @@ class ShardedStore : public CoefficientStore {
                             std::span<double> out, IoStats* io) const override;
 
  private:
-  /// One immutable tier placement. Readers pin it by copying the
-  /// shared_ptr under tier_mu_ (one lock per call), so Rebalance() swapping
-  /// in a successor can never tear a read.
+  /// One immutable tier placement. Readers pin it once per call through the
+  /// EpochPtr slot, so Rebalance() swapping in a successor can never tear a
+  /// read.
   struct HotTier {
     uint64_t epoch = 0;
     std::unordered_set<uint64_t> ranges;
@@ -154,10 +155,7 @@ class ShardedStore : public CoefficientStore {
     std::atomic<uint64_t> keys_fetched{0};
   };
 
-  std::shared_ptr<const HotTier> PinTier() const {
-    std::lock_guard<std::mutex> lock(tier_mu_);
-    return hot_;
-  }
+  std::shared_ptr<const HotTier> PinTier() const { return hot_.Pin(); }
 
   uint64_t RangeOf(uint64_t key) const {
     return key >> options_.hot_range_bits;
@@ -181,8 +179,7 @@ class ShardedStore : public CoefficientStore {
   /// to shard backends) before any shard is destroyed.
   std::vector<std::unique_ptr<ThreadPool>> pools_;
 
-  mutable std::mutex tier_mu_;
-  std::shared_ptr<const HotTier> hot_;  // null until the first promotion
+  EpochPtr<HotTier> hot_;  // pins null until the first promotion
   std::atomic<uint64_t> epoch_{0};
 
   mutable std::mutex hits_mu_;

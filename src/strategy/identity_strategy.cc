@@ -43,13 +43,13 @@ std::unique_ptr<CoefficientStore> IdentityStrategy::BuildStore(
   return store;
 }
 
-Status IdentityStrategy::InsertTuple(CoefficientStore& store,
-                                     const Tuple& tuple, double count) const {
+Result<SparseVec> IdentityStrategy::TransformUpdate(const Tuple& tuple,
+                                                    double count) const {
   if (!schema_.Contains(tuple)) {
     return Status::OutOfRange("tuple outside schema domain");
   }
-  store.Add(schema_.Pack(tuple), count);
-  return Status::OK();
+  if (count == 0.0) return SparseVec();
+  return SparseVec::FromSorted({{schema_.Pack(tuple), count}});
 }
 
 std::unique_ptr<CoefficientStore> IdentityStrategy::MakeEmptyStore() const {

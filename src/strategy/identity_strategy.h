@@ -18,8 +18,9 @@ class IdentityStrategy : public LinearStrategy {
   Result<SparseVec> TransformQuery(const RangeSumQuery& query) const override;
   std::unique_ptr<CoefficientStore> BuildStore(
       const DenseCube& delta) const override;
-  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
-                     double count) const override;
+  /// One entry: the tuple's own cell.
+  Result<SparseVec> TransformUpdate(const Tuple& tuple,
+                                    double count) const override;
   std::string name() const override { return "identity"; }
 
  protected:

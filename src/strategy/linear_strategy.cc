@@ -24,6 +24,14 @@ Result<double> LinearStrategy::AnswerQuery(const RangeSumQuery& query,
   return acc;
 }
 
+Status LinearStrategy::InsertTuple(CoefficientStore& store, const Tuple& tuple,
+                                   double count) const {
+  Result<SparseVec> delta = TransformUpdate(tuple, count);
+  if (!delta.ok()) return delta.status();
+  for (const SparseEntry& e : *delta) store.Add(e.key, e.value);
+  return Status::OK();
+}
+
 std::unique_ptr<CoefficientStore> LinearStrategy::BuildStoreFromRelation(
     const Relation& relation) const {
   WB_CHECK(relation.schema() == schema_);

@@ -38,12 +38,23 @@ class LinearStrategy {
   virtual std::unique_ptr<CoefficientStore> BuildStore(
       const DenseCube& delta) const = 0;
 
-  /// Incremental maintenance: updates the view for `count` new occurrences
-  /// of `tuple` (count may be negative for deletions). The per-tuple cost
-  /// is the strategy's update complexity — poly-logarithmic for wavelets,
-  /// O(N^d) worst case for prefix sums.
-  virtual Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
-                             double count = 1.0) const = 0;
+  /// Incremental maintenance, as data: the sparse coefficient delta that
+  /// `count` new occurrences of `tuple` add to the view (count may be
+  /// negative for deletions). The entry count is the strategy's per-tuple
+  /// update cost — O((2δ+2)^d log^d N) for wavelets (Section 2.1 of the
+  /// paper), O(N^d) worst case for prefix sums, 1 for identity. Returning
+  /// the delta instead of mutating a store is what makes the update path
+  /// composable: callers apply it to a store (InsertTuple), ingest it into
+  /// a VersionedStore's delta overlay, or ship it to a replica.
+  virtual Result<SparseVec> TransformUpdate(const Tuple& tuple,
+                                            double count = 1.0) const = 0;
+
+  /// Incremental maintenance, applied: adds TransformUpdate(tuple, count)
+  /// into `store`. Non-virtual on purpose — every strategy's in-place
+  /// update is exactly its update delta applied entry by entry, so the
+  /// delta path and the in-place path can never drift apart.
+  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
+                     double count = 1.0) const;
 
   /// Builds an empty store and inserts every tuple of `relation` — the
   /// streaming build path (never materializes the dense cube).

@@ -124,13 +124,13 @@ std::unique_ptr<CoefficientStore> PrefixSumStrategy::BuildStore(
   return std::make_unique<DenseStore>(std::move(values));
 }
 
-Status PrefixSumStrategy::InsertTuple(CoefficientStore& store,
-                                      const Tuple& tuple,
-                                      double count) const {
+Result<SparseVec> PrefixSumStrategy::TransformUpdate(const Tuple& tuple,
+                                                     double count) const {
   if (!schema_.Contains(tuple)) {
     return Status::OutOfRange("tuple outside schema domain");
   }
   const size_t d = schema_.num_dims();
+  std::vector<SparseEntry> entries;
   for (size_t t = 0; t < monomials_.size(); ++t) {
     const double delta = EvalMonomial(monomials_[t], tuple) * count;
     if (delta == 0.0) continue;
@@ -139,7 +139,7 @@ Status PrefixSumStrategy::InsertTuple(CoefficientStore& store,
     // All cells y >= tuple componentwise receive the update.
     Tuple y = tuple;
     for (;;) {
-      store.Add(slot_base | schema_.Pack(y), delta);
+      entries.push_back({slot_base | schema_.Pack(y), delta});
       size_t dim = d;
       bool done = true;
       while (dim-- > 0) {
@@ -152,7 +152,7 @@ Status PrefixSumStrategy::InsertTuple(CoefficientStore& store,
       if (done) break;
     }
   }
-  return Status::OK();
+  return SparseVec::FromUnsorted(std::move(entries));
 }
 
 std::unique_ptr<CoefficientStore> PrefixSumStrategy::MakeEmptyStore() const {

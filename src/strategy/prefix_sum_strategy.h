@@ -34,8 +34,10 @@ class PrefixSumStrategy : public LinearStrategy {
   Result<SparseVec> TransformQuery(const RangeSumQuery& query) const override;
   std::unique_ptr<CoefficientStore> BuildStore(
       const DenseCube& delta) const override;
-  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
-                     double count) const override;
+  /// The O(N^d) worst case: every cell componentwise ≥ the tuple, per
+  /// monomial slot.
+  Result<SparseVec> TransformUpdate(const Tuple& tuple,
+                                    double count) const override;
   std::string name() const override { return "prefix-sum"; }
 
   size_t num_monomials() const { return monomials_.size(); }

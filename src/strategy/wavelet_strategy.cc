@@ -4,6 +4,7 @@
 
 #include "storage/dense_store.h"
 #include "storage/memory_store.h"
+#include "util/bits.h"
 #include "util/check.h"
 #include "wavelet/dwt_nd.h"
 #include "wavelet/impulse.h"
@@ -91,22 +92,30 @@ std::unique_ptr<CoefficientStore> WaveletStrategy::BuildStore(
   return std::make_unique<DenseStore>(std::move(values));
 }
 
-Status WaveletStrategy::InsertTuple(CoefficientStore& store,
-                                    const Tuple& tuple, double count) const {
+Result<SparseVec> WaveletStrategy::TransformUpdate(const Tuple& tuple,
+                                                   double count) const {
   if (!schema_.Contains(tuple)) {
     return Status::OutOfRange("tuple outside schema domain");
   }
   std::vector<std::vector<SparseEntry>> factors(schema_.num_dims());
+  double bound = 1.0;
   for (size_t i = 0; i < schema_.num_dims(); ++i) {
-    factors[i] =
-        SparseImpulseDwt1D(schema_.dim(i).size, tuple[i], 1.0, filter_);
+    const uint64_t n = schema_.dim(i).size;
+    factors[i] = SparseImpulseDwt1D(n, tuple[i], 1.0, filter_);
+    // Per-dimension sparsity of the impulse cascade: the level-ℓ scaling
+    // support of a point is at most L-1 positions wide, each level emits at
+    // most that many details, and one approximation coefficient survives.
+    bound *= static_cast<double>(filter_.length()) *
+                 static_cast<double>(FloorLog2(n)) +
+             1.0;
   }
   SparseAccumulator acc;
   ExpandTensorProduct(schema_, factors, count, acc);
-  for (const auto& [key, value] : acc.map()) {
-    store.Add(key, value);
-  }
-  return Status::OK();
+  // The paper's maintenance claim, enforced: an insertion touches
+  // O((2δ+2)^d log^d N) stored coefficients.
+  WB_CHECK_LE(static_cast<double>(acc.size()), bound)
+      << "wavelet update delta exceeds the (2δ+2)^d log^d N bound";
+  return acc.ToVec();
 }
 
 std::string WaveletStrategy::name() const {

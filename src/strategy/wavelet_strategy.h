@@ -28,8 +28,13 @@ class WaveletStrategy : public LinearStrategy {
   std::unique_ptr<CoefficientStore> BuildStore(
       const DenseCube& delta) const override;
 
-  Status InsertTuple(CoefficientStore& store, const Tuple& tuple,
-                     double count) const override;
+  /// The paper's poly-logarithmic maintenance path (Section 2.1): the
+  /// per-dimension sparse impulse DWTs tensor-expanded into the packed key
+  /// space. The entry count is checked against the O((2δ+2)^d log^d N)
+  /// bound — at most Π_i (L·log2(n_i) + 1) entries for filter length
+  /// L = 2δ+2.
+  Result<SparseVec> TransformUpdate(const Tuple& tuple,
+                                    double count) const override;
 
   std::string name() const override;
 

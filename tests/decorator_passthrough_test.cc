@@ -1,0 +1,244 @@
+// Decorator pass-through audit: every store decorator must forward every
+// public entry point faithfully. For each decorator wrapped around a
+// sharded (S=2) plane, every read path — Peek, Fetch, FetchBatch,
+// FetchBatchRouted (with hints from the decorator's own router), and the
+// aggregate scans — must produce values identical to the naked inner
+// store, with identical IoStats (identical retrievals for all decorators;
+// BlockStore's block counters are its own sub-model, additive on top and
+// asserted separately). This is the regression net for the classic
+// decorator bug: adding a new entry point to the base class and forgetting
+// to forward it in one wrapper, which silently drops the wrapper (or the
+// batch optimization) from that path.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "storage/block_store.h"
+#include "storage/fault_injection_store.h"
+#include "storage/key_router.h"
+#include "storage/memory_store.h"
+#include "storage/sharded_store.h"
+#include "storage/versioned_store.h"
+#include "strategy/wavelet_strategy.h"
+
+namespace wavebatch {
+namespace {
+
+/// The probe workload: every nonzero key of the reference store plus a
+/// sprinkle of absent keys (decorators must forward zeros too).
+struct Probe {
+  std::vector<uint64_t> keys;
+  std::vector<double> expected;
+};
+
+Probe MakeProbe(const CoefficientStore& reference) {
+  Probe probe;
+  reference.ForEachNonZero([&](uint64_t key, double value) {
+    probe.keys.push_back(key);
+    probe.expected.push_back(value);
+  });
+  const uint64_t max_key = probe.keys.empty() ? 0 : probe.keys.back();
+  for (uint64_t key = max_key + 1; key <= max_key + 5; ++key) {
+    probe.keys.push_back(key);
+    probe.expected.push_back(0.0);
+  }
+  return probe;
+}
+
+/// Exercises every public read entry point of `store` and checks values
+/// against `probe` and I/O accounting against `expect_io` (retrievals
+/// always; block counters only when `check_blocks`).
+void AuditReadPaths(const CoefficientStore& store, const Probe& probe,
+                    const IoStats& expect_io, bool check_blocks,
+                    const char* label) {
+  SCOPED_TRACE(label);
+
+  // Scalar counted path.
+  IoStats scalar_io;
+  for (size_t i = 0; i < probe.keys.size(); ++i) {
+    Result<double> value = store.Fetch(probe.keys[i], &scalar_io);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, probe.expected[i]) << "key " << probe.keys[i];
+    EXPECT_EQ(store.Peek(probe.keys[i]), probe.expected[i]);
+  }
+  EXPECT_EQ(scalar_io.retrievals, expect_io.retrievals);
+
+  // Batched counted path.
+  IoStats batch_io;
+  std::vector<double> out(probe.keys.size(), -1.0);
+  ASSERT_TRUE(store.FetchBatch(probe.keys, out, &batch_io).ok());
+  for (size_t i = 0; i < probe.keys.size(); ++i) {
+    EXPECT_EQ(out[i], probe.expected[i]) << "key " << probe.keys[i];
+  }
+  EXPECT_EQ(batch_io.retrievals, expect_io.retrievals);
+  if (check_blocks) {
+    EXPECT_EQ(batch_io.block_reads, expect_io.block_reads);
+    EXPECT_EQ(batch_io.block_hits, expect_io.block_hits);
+  }
+
+  // Routed batched path, hints from the decorator's own router — the
+  // entry point most recently added to the seam, and the easiest to
+  // forget in a wrapper.
+  if (const KeyRouter* router = store.router(); router != nullptr) {
+    std::vector<uint32_t> shards;
+    for (uint64_t key : probe.keys) shards.push_back(router->ShardOf(key));
+    IoStats routed_io;
+    std::fill(out.begin(), out.end(), -1.0);
+    ASSERT_TRUE(store.FetchBatchRouted(probe.keys, shards, out, &routed_io)
+                    .ok());
+    for (size_t i = 0; i < probe.keys.size(); ++i) {
+      EXPECT_EQ(out[i], probe.expected[i]) << "key " << probe.keys[i];
+    }
+    EXPECT_EQ(routed_io.retrievals, expect_io.retrievals);
+    if (check_blocks) {
+      EXPECT_EQ(routed_io.block_reads, expect_io.block_reads);
+      EXPECT_EQ(routed_io.block_hits, expect_io.block_hits);
+    }
+  }
+
+  // Aggregate scans.
+  uint64_t nnz = 0;
+  double recomputed_sum_abs = 0.0;
+  store.ForEachNonZero([&](uint64_t, double value) {
+    ++nnz;
+    recomputed_sum_abs += value < 0 ? -value : value;
+  });
+  EXPECT_EQ(store.NumNonZero(), nnz);
+  EXPECT_GT(nnz, 0u);
+  EXPECT_NEAR(store.SumAbs(), recomputed_sum_abs,
+              1e-9 * (1.0 + recomputed_sum_abs));
+}
+
+class DecoratorPassthroughTest : public ::testing::Test {
+ protected:
+  DecoratorPassthroughTest() : schema_(Schema::Uniform(2, 16)) {
+    WaveletStrategy strategy(schema_, WaveletKind::kHaar);
+    Relation rel = MakeUniformRelation(schema_, 400, 13);
+    reference_ = strategy.BuildStore(rel.FrequencyDistribution());
+    probe_ = MakeProbe(*reference_);
+  }
+
+  /// A two-shard plane holding the reference coefficients; the inner store
+  /// every decorator wraps, so the audit covers forwarding *through* a
+  /// router-bearing store.
+  std::unique_ptr<ShardedStore> MakeShardedInner() const {
+    std::vector<std::unique_ptr<HashStore>> hash_shards;
+    for (int s = 0; s < 2; ++s) {
+      hash_shards.push_back(std::make_unique<HashStore>());
+    }
+    uint64_t max_key = 0;
+    reference_->ForEachNonZero(
+        [&](uint64_t key, double) { max_key = std::max(max_key, key); });
+    KeyRouter router = KeyRouter::Uniform(max_key + 1, 2);
+    reference_->ForEachNonZero([&](uint64_t key, double value) {
+      hash_shards[router.ShardOf(key)]->Add(key, value);
+    });
+    std::vector<std::unique_ptr<CoefficientStore>> shards;
+    for (auto& shard : hash_shards) shards.push_back(std::move(shard));
+    return std::make_unique<ShardedStore>(std::move(shards), router,
+                                          ShardedStoreOptions{});
+  }
+
+  IoStats PlainIo() const {
+    IoStats io;
+    io.retrievals = probe_.keys.size();
+    return io;
+  }
+
+  Schema schema_;
+  std::unique_ptr<CoefficientStore> reference_;
+  Probe probe_;
+};
+
+TEST_F(DecoratorPassthroughTest, NakedShardedPlaneIsTheBaseline) {
+  auto inner = MakeShardedInner();
+  ASSERT_NE(inner->router(), nullptr);
+  AuditReadPaths(*inner, probe_, PlainIo(), /*check_blocks=*/true, "sharded");
+}
+
+TEST_F(DecoratorPassthroughTest, HealthyFaultInjectionStoreIsTransparent) {
+  FaultInjectionStore store(MakeShardedInner());
+  ASSERT_NE(store.router(), nullptr) << "router must survive the wrapper";
+  AuditReadPaths(store, probe_, PlainIo(), /*check_blocks=*/true, "faulty");
+  EXPECT_EQ(store.injected_failures(), 0u);
+}
+
+TEST_F(DecoratorPassthroughTest, BlockStoreForwardsValuesAndAddsItsSubModel) {
+  constexpr uint64_t kBlockSize = 8;
+  BlockStore store(MakeShardedInner(), kBlockSize, /*cache_blocks=*/0);
+  ASSERT_NE(store.router(), nullptr);
+
+  // Values and retrievals identical to the inner plane; block counters are
+  // the wrapper's own sub-model, checked for the batched paths: unbuffered
+  // batches read each distinct block exactly once.
+  IoStats expected = PlainIo();
+  std::vector<bool> seen;
+  for (uint64_t key : probe_.keys) {
+    const uint64_t block = key / kBlockSize;
+    if (block >= seen.size()) seen.resize(block + 1, false);
+    if (!seen[block]) {
+      seen[block] = true;
+      ++expected.block_reads;
+    }
+  }
+  AuditReadPaths(store, probe_, expected, /*check_blocks=*/true, "blocked");
+}
+
+TEST_F(DecoratorPassthroughTest, SnapshotStoreWithNullOverlayIsTransparent) {
+  std::shared_ptr<const CoefficientStore> inner = MakeShardedInner();
+  SnapshotStore store(/*epoch=*/0, inner, /*overlay=*/nullptr);
+  ASSERT_EQ(store.router(), inner->router());
+  AuditReadPaths(store, probe_, PlainIo(), /*check_blocks=*/true, "snapshot");
+}
+
+TEST_F(DecoratorPassthroughTest, SnapshotStoreAppliesItsOverlayOnEveryPath) {
+  std::shared_ptr<const CoefficientStore> inner = MakeShardedInner();
+  // Overlay: +1 on every third probed key, plus one key absent from the
+  // base — every read path must see base ⊕ overlay.
+  auto overlay = std::make_shared<DeltaOverlay>();
+  Probe shifted = probe_;
+  for (size_t i = 0; i < probe_.keys.size(); i += 3) {
+    overlay->adds[probe_.keys[i]] = 1.0;
+    shifted.expected[i] += 1.0;
+  }
+  SnapshotStore store(/*epoch=*/1, inner, overlay);
+  AuditReadPaths(store, shifted, PlainIo(), /*check_blocks=*/true,
+                 "snapshot+overlay");
+}
+
+TEST_F(DecoratorPassthroughTest, StackedDecoratorsComposeWithoutDoubleCount) {
+  // The full stack the streaming fault tests use: fault injection over a
+  // block simulation over a published snapshot over the sharded plane.
+  // One retrieval per key, charged once, values intact end to end.
+  auto snapshot = std::make_shared<SnapshotStore>(
+      /*epoch=*/0, std::shared_ptr<const CoefficientStore>(MakeShardedInner()),
+      nullptr);
+  auto blocked = std::make_unique<BlockStore>(
+      std::make_unique<FaultInjectionStore>(
+          const_cast<CoefficientStore*>(
+              static_cast<const CoefficientStore*>(snapshot.get()))),
+      /*block_size=*/8, /*cache_blocks=*/0);
+  AuditReadPaths(*blocked, probe_, PlainIo(), /*check_blocks=*/false,
+                 "stacked");
+}
+
+TEST_F(DecoratorPassthroughTest, DecoratorsDoNotForwardPinVersion) {
+  // Forwarding PinVersion through a decorator would hand sessions the
+  // naked inner snapshot and silently drop the decorator from the read
+  // path — the seam's contract is that decorators return null and callers
+  // wrap a pinned snapshot instead.
+  FaultInjectionStore faulty(MakeShardedInner());
+  EXPECT_EQ(faulty.PinVersion(), nullptr);
+  BlockStore blocked(MakeShardedInner(), 8, 0);
+  EXPECT_EQ(blocked.PinVersion(), nullptr);
+  std::shared_ptr<const CoefficientStore> inner = MakeShardedInner();
+  SnapshotStore snapshot(0, inner, nullptr);
+  EXPECT_EQ(snapshot.PinVersion(), nullptr)
+      << "a snapshot is its own snapshot";
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -141,6 +142,68 @@ TEST(WaveletStrategySparsity, QueryNnzWithinPaperBound) {
     const double per_dim = 2.0 * 4 * 5 + 2.0 * 4;
     EXPECT_LE(coeffs->size(), per_dim * per_dim * per_dim);
   }
+}
+
+TEST(WaveletStrategySparsity, UpdateDeltaNnzWithinPaperBound) {
+  // Section 5's update cost: one tuple insertion touches O((2δ+2)^d log^d N)
+  // coefficients — per dimension, the impulse DWT has at most L = 2δ+2
+  // nonzero taps per level plus the final average. Property-check the
+  // explicit product bound Π_i (L·log2(N_i) + 1) over random tuples for
+  // d ∈ {1, 2, 3}, Haar (L = 2) and Db4 (L = 4).
+  for (const WaveletKind kind : {WaveletKind::kHaar, WaveletKind::kDb4}) {
+    const double filter_len =
+        static_cast<double>(WaveletFilter::Get(kind).length());
+    for (const size_t d : {size_t{1}, size_t{2}, size_t{3}}) {
+      const uint32_t n = d == 3 ? 16 : 64;
+      Schema schema = Schema::Uniform(d, n);
+      WaveletStrategy strategy(schema, kind);
+      double bound = 1.0;
+      for (size_t i = 0; i < d; ++i) {
+        bound *= filter_len * std::log2(static_cast<double>(n)) + 1.0;
+      }
+      Rng rng(101 + static_cast<uint64_t>(d));
+      for (int t = 0; t < 20; ++t) {
+        Tuple tuple(d);
+        for (size_t i = 0; i < d; ++i) {
+          tuple[i] = static_cast<uint32_t>(rng.UniformInt(n));
+        }
+        Result<SparseVec> delta = strategy.TransformUpdate(tuple, 1.0);
+        ASSERT_TRUE(delta.ok());
+        EXPECT_LE(static_cast<double>(delta->size()), bound)
+            << "d=" << d << " N=" << n << " filter length " << filter_len;
+        EXPECT_GT(delta->size(), 0u);
+      }
+    }
+  }
+}
+
+TEST(LinearStrategyUpdate, TransformUpdateComposesLikeInsertTuple) {
+  // InsertTuple is definitionally "apply TransformUpdate to the store";
+  // the delta route and the in-place route must agree bitwise, and a
+  // zero-count identity update must be empty.
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy(schema, WaveletKind::kDb4);
+  Relation rel = MakeUniformRelation(schema, 80, 23);
+  auto direct = strategy.BuildStoreFromRelation(rel);
+  auto via_delta = strategy.BuildStoreFromRelation(rel);
+  const Tuple tuple{7, 11};
+  ASSERT_TRUE(strategy.InsertTuple(*direct, tuple, 2.0).ok());
+  Result<SparseVec> delta = strategy.TransformUpdate(tuple, 2.0);
+  ASSERT_TRUE(delta.ok());
+  for (const SparseEntry& e : *delta) via_delta->Add(e.key, e.value);
+  for (uint64_t key = 0; key < schema.cell_count(); ++key) {
+    EXPECT_EQ(direct->Peek(key), via_delta->Peek(key)) << "key " << key;
+  }
+
+  IdentityStrategy identity(schema);
+  const Tuple cell{1, 2};
+  EXPECT_EQ(identity.TransformUpdate(cell, 0.0).value().size(), 0u);
+  Result<SparseVec> one = identity.TransformUpdate(cell, 3.0);
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ(one->entries()[0].key, schema.Pack(cell));
+  EXPECT_EQ(one->entries()[0].value, 3.0);
+  EXPECT_FALSE(identity.TransformUpdate({16, 0}, 1.0).ok());
 }
 
 TEST(PrefixSumStrategyTest, CountAndSumExact) {
