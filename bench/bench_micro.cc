@@ -701,6 +701,17 @@ int main(int argc, char** argv) {
   int new_argc = static_cast<int>(args.size());
   benchmark::Initialize(&new_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  // Stamp the report with how THIS project was compiled. The stock
+  // "library_build_type" context key reflects the installed benchmark
+  // library's NDEBUG, not ours — on distro packages it reads "debug"
+  // forever, which is useless for rejecting debug-built baselines.
+  // bench_compare prefers this key and refuses reports where it says
+  // "debug".
+#ifdef NDEBUG
+  benchmark::AddCustomContext("wavebatch_build_type", "release");
+#else
+  benchmark::AddCustomContext("wavebatch_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!metrics_out.empty()) {

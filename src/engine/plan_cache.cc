@@ -92,6 +92,14 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
       Fingerprint(batch, strategy, penalty.get(), data_epoch);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Watermark invalidation: the first lookup at a new epoch retires every
+    // plan from older (nonzero) epochs — dead-epoch entries must not linger
+    // until LRU pressure happens to reach them. Epoch-0 (static-store)
+    // plans are not versioned and survive.
+    if (data_epoch > epoch_watermark_) {
+      epoch_watermark_ = data_epoch;
+      DropStaleLocked(epoch_watermark_, /*drop_epoch_zero=*/false);
+    }
     auto it = by_key_.find(key);
     if (it != by_key_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -128,11 +136,12 @@ Result<std::shared_ptr<const EvalPlan>> PlanCache::GetOrBuild(
   return plan;
 }
 
-size_t PlanCache::InvalidateStale(uint64_t min_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+size_t PlanCache::DropStaleLocked(uint64_t min_epoch, bool drop_epoch_zero) {
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->data_epoch < min_epoch) {
+    const bool stale = it->data_epoch < min_epoch &&
+                       (drop_epoch_zero || it->data_epoch != 0);
+    if (stale) {
       by_key_.erase(it->key);
       it = lru_.erase(it);
       ++dropped;
@@ -143,6 +152,11 @@ size_t PlanCache::InvalidateStale(uint64_t min_epoch) {
   evictions_ += dropped;
   if (dropped > 0) CacheMetrics().evictions->Add(dropped);
   return dropped;
+}
+
+size_t PlanCache::InvalidateStale(uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DropStaleLocked(min_epoch, /*drop_epoch_zero=*/true);
 }
 
 uint64_t PlanCache::hits() const {
@@ -169,6 +183,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   by_key_.clear();
+  epoch_watermark_ = 0;
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;

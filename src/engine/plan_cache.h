@@ -53,7 +53,18 @@ class PlanCache {
   /// Ingestion pipelines call this after a merge publishes epoch E with
   /// min_epoch = E to bound the lifetime of plans pinned to superseded
   /// versions; plans at epoch >= min_epoch (and static epoch-0 plans when
-  /// min_epoch == 0) survive.
+  /// min_epoch == 0) survive. The natural wiring is
+  /// VersionedStoreOptions::on_publish.
+  ///
+  /// Invalidation is also automatic: GetOrBuild tracks the highest
+  /// data_epoch it has seen (the watermark) and, whenever a lookup
+  /// advances it, drops entries from older *nonzero* epochs — so
+  /// dead-epoch plans are bounded even without the callback, while static
+  /// (epoch-0) plans always survive the watermark. The watermark treats
+  /// epochs as one stream: caches shared across several versioned planes
+  /// with wildly different epoch counters should prefer the explicit
+  /// callback wiring (spurious drops are only a performance effect, never
+  /// a correctness one — a dropped plan is rebuilt on the next miss).
   size_t InvalidateStale(uint64_t min_epoch);
 
   uint64_t hits() const;
@@ -83,8 +94,15 @@ class PlanCache {
     uint64_t data_epoch;
   };
 
+  /// Drops entries with 0 < data_epoch < min_epoch (watermark semantics:
+  /// epoch-0 static plans survive). Caller holds mu_. Returns the count,
+  /// already folded into evictions_.
+  size_t DropStaleLocked(uint64_t min_epoch, bool drop_epoch_zero);
+
   const size_t capacity_;
   mutable std::mutex mu_;
+  /// Highest data_epoch seen by GetOrBuild; advances drop older entries.
+  uint64_t epoch_watermark_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -1,0 +1,254 @@
+#ifndef WAVEBATCH_SERVER_QUERY_SERVICE_H_
+#define WAVEBATCH_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/eval_session.h"
+#include "engine/plan_cache.h"
+#include "query/batch.h"
+#include "server/shared_fetch.h"
+#include "storage/coefficient_store.h"
+#include "strategy/linear_strategy.h"
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+namespace wavebatch::server {
+
+/// One client request: a query batch plus how much progress it needs and by
+/// when. Every budget is optional — with none set the request runs to
+/// exactness.
+struct QueryRequest {
+  explicit QueryRequest(QueryBatch batch_in) : batch(std::move(batch_in)) {}
+
+  QueryBatch batch;
+  /// Drives the progression order and the Theorem-1 bound. Null = exact
+  /// only (key order, no early stop on target_bound).
+  std::shared_ptr<const PenaltyFunction> penalty;
+  FaultPolicy fault_policy = FaultPolicy::kFail;
+  /// Complete early once WorstCaseBound() <= target_bound (requires a
+  /// penalty). 0 = run to exact.
+  double target_bound = 0.0;
+  /// Complete (possibly approximate, with valid progressive bounds) within
+  /// this much time of admission. Zero = no deadline.
+  std::chrono::microseconds deadline{0};
+  /// Coefficients per scheduling quantum; 0 = service default.
+  size_t quantum = 0;
+};
+
+struct QueryResponse {
+  Status status = Status::OK();
+  /// Progressive estimates at completion (exact when `exact`).
+  std::vector<double> estimates;
+  /// Theorem-1 worst-case penalty bound at completion (0 without penalty).
+  double worst_case_bound = 0.0;
+  uint64_t steps_taken = 0;
+  uint64_t total_steps = 0;
+  uint64_t skipped_coefficients = 0;
+  /// Per-session I/O accounting — identical to an isolated run of the same
+  /// batch; cross-session sharing changes backend traffic, never this.
+  IoStats io;
+  bool exact = false;
+  bool deadline_expired = false;
+  /// Pin generation this request was served at (bumps on RefreshEpoch).
+  uint64_t generation = 0;
+  /// Admission-to-completion wall time.
+  std::chrono::microseconds latency{0};
+};
+
+/// Invoked exactly once per admitted request, outside the service lock (it
+/// may re-enter Submit). Requests shed at admission never get a callback —
+/// Submit's Status is the only signal.
+using ResponseCallback = std::function<void(QueryResponse)>;
+
+struct QueryServiceOptions {
+  /// Admission queue bound: Submit sheds (kUnavailable) beyond this depth.
+  size_t max_queue_depth = 256;
+  /// Concurrently live (admitted, stepping) sessions.
+  size_t max_live_sessions = 32;
+  /// Default per-quantum coefficient count for requests with quantum == 0.
+  size_t default_quantum = 256;
+  /// Shed admissions while the process-wide thread-pool queue gauge
+  /// (wavebatch_thread_pool_queue_depth) exceeds this. 0 = disabled. This
+  /// is the cross-subsystem backpressure signal: merges and parallel plan
+  /// builds share those pools, and a serving layer must not pile new work
+  /// onto a machine that is already behind.
+  double pool_queue_shed_threshold = 0.0;
+  /// Plan cache to use; null = a private cache of this capacity.
+  std::shared_ptr<PlanCache> plan_cache;
+  size_t plan_cache_capacity = 64;
+};
+
+/// The serving front end: accepts query batches from many clients into an
+/// admission queue, runs each as a progressive EvalSession, and merges the
+/// per-step coefficient needs of concurrent sessions into cross-session
+/// fetch batches (Observation 1 across batches, not just within one).
+///
+/// Grouping: live sessions are grouped by (schema fingerprint, strategy,
+/// penalty fingerprint, pinned epoch generation); each group owns one
+/// SharedFetchCache over one pinned snapshot, so a coefficient any group
+/// member needs is fetched from the backend once per epoch. Before a
+/// session's quantum runs, the scheduler unions the upcoming keys of every
+/// live session in its group (EvalSession::PeekUpcomingKeys) into one
+/// prefetch batch — the cross-session FetchBatch.
+///
+/// Scheduling is progress-aware: the runnable session with the least
+/// deadline slack goes first; among equals, the one whose next quantum buys
+/// the largest Theorem-1 bound reduction per retrieval (NextImportance).
+/// Requests complete when exact, when their target bound is reached, or
+/// when their deadline expires (returning the current progressive estimates
+/// and bound — the paper's contract is that partial answers are usable).
+///
+/// Backpressure: Submit sheds when the admission queue is full or the
+/// process thread-pool queue gauge crosses the configured threshold.
+///
+/// Execution: either call RunUntilIdle() on your own thread (deterministic;
+/// tests and single-tenant tools), or Start()/Stop() worker threads.
+/// Epochs: the service pins its store's current version at construction;
+/// RefreshEpoch() re-pins — wire it to VersionedStoreOptions::on_publish so
+/// new admissions serve fresh data while in-flight sessions finish on the
+/// epoch they pinned.
+class QueryService {
+ public:
+  QueryService(std::shared_ptr<const CoefficientStore> store,
+               std::shared_ptr<const LinearStrategy> strategy,
+               QueryServiceOptions options = {});
+  /// Stops workers and fails every queued and in-flight request with
+  /// kUnavailable (their callbacks run, with progress so far).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admission: enqueues the request, or sheds it (kUnavailable, callback
+  /// never invoked) under backpressure. `done` runs exactly once for every
+  /// admitted request.
+  Status Submit(QueryRequest request, ResponseCallback done);
+
+  /// Drains the queue on the calling thread until no runnable work is left.
+  /// Deterministic given a deterministic store; safe alongside workers
+  /// (they just compete for quanta).
+  void RunUntilIdle();
+
+  /// Spawns `num_threads` worker threads (>= 1). No-op when running.
+  void Start(size_t num_threads);
+  /// Stops and joins workers. Queued/in-flight requests stay put and can be
+  /// drained by RunUntilIdle() or a later Start().
+  void Stop();
+
+  /// Re-pins the store's current version; later admissions form new groups
+  /// over the fresh snapshot. Wire to VersionedStoreOptions::on_publish.
+  void RefreshEpoch();
+
+  // Introspection (tests, ops).
+  size_t queue_depth() const;
+  size_t live_sessions() const;
+  uint64_t generation() const;
+  /// This instance's counts (the telemetry counters aggregate across all
+  /// services in the process).
+  uint64_t sheds() const;
+  uint64_t completed() const;
+  /// Cross-session ledger summed over live and retired groups: hits are
+  /// backend fetches some other session already paid for.
+  uint64_t shared_hits() const;
+  uint64_t shared_misses() const;
+
+ private:
+  struct Group {
+    std::string key;
+    std::shared_ptr<SharedFetchStore> store;
+    std::shared_ptr<SharedFetchCache> cache;
+    /// Theorem 1's K = SumAbs of the pinned snapshot, computed once.
+    double k_sum_abs = 0.0;
+    size_t members = 0;
+  };
+
+  struct Pending {
+    QueryRequest request;
+    ResponseCallback done;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  struct Active {
+    Active(QueryRequest r, ResponseCallback d)
+        : request(std::move(r)), done(std::move(d)) {}
+
+    QueryRequest request;
+    ResponseCallback done;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::chrono::steady_clock::time_point deadline_at;  // max() = none
+    std::unique_ptr<EvalSession> session;
+    std::shared_ptr<Group> group;
+    uint64_t generation = 0;
+    size_t quantum = 0;
+    bool busy = false;      // a worker owns this session's next quantum
+    Status failure;         // sticky non-OK fetch status under kFail
+    bool failed = false;
+  };
+
+  void WorkerLoop();
+  /// Admits pending requests into live sessions while capacity allows.
+  /// Must hold mu_. Completed-at-admission requests (empty plans, expired
+  /// deadlines, failed plan builds) are finalized into *finished.
+  void AdmitLocked(std::vector<std::function<void()>>* finished);
+  /// Picks the runnable live session with (least deadline slack, highest
+  /// marginal bound reduction). Null when none is runnable. Must hold mu_.
+  Active* PickLocked(std::chrono::steady_clock::time_point now);
+  /// Runs one quantum for `active` WITHOUT the lock: group prefetch of the
+  /// unioned upcoming keys, then one StepBatch.
+  void StepQuantum(Active& active, std::vector<uint64_t>* scratch);
+  /// Union of upcoming keys across the group's live sessions. Must hold
+  /// mu_ (reads sibling sessions' cursors; they are not busy).
+  void GatherGroupKeysLocked(const Active& active, std::vector<uint64_t>* out);
+  /// True when the request is complete (exact, bound met, deadline, fault).
+  bool IsFinishedLocked(const Active& active,
+                        std::chrono::steady_clock::time_point now) const;
+  /// Removes `active` from live_, builds its response, returns the callback
+  /// invocation to run outside the lock. Must hold mu_.
+  std::function<void()> FinalizeLocked(
+      size_t live_index, Status status, bool deadline_expired,
+      std::chrono::steady_clock::time_point now);
+  std::shared_ptr<Group> GetGroupLocked(const QueryRequest& request);
+  std::string GroupKeyLocked(const QueryRequest& request) const;
+  void RepinLocked();
+
+  const std::shared_ptr<const CoefficientStore> root_store_;
+  const std::shared_ptr<const LinearStrategy> strategy_;
+  const QueryServiceOptions options_;
+  std::shared_ptr<PlanCache> plan_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::vector<Pending> pending_;
+  std::vector<std::unique_ptr<Active>> live_;
+  std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
+  std::shared_ptr<const CoefficientStore> pinned_;  // current epoch snapshot
+  uint64_t generation_ = 1;
+  uint64_t retired_hits_ = 0;
+  uint64_t retired_misses_ = 0;
+  uint64_t local_sheds_ = 0;
+  uint64_t local_completed_ = 0;
+
+  telemetry::Gauge* queue_depth_gauge_;
+  telemetry::Gauge* live_sessions_gauge_;
+  telemetry::Counter* requests_;
+  telemetry::Counter* sheds_;
+  telemetry::Counter* completed_;
+  telemetry::Counter* deadline_expired_;
+  telemetry::Counter* failed_;
+  telemetry::Histogram* latency_us_;
+};
+
+}  // namespace wavebatch::server
+
+#endif  // WAVEBATCH_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,116 @@
+#include "server/shared_fetch.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wavebatch::server {
+
+SharedFetchStore::SharedFetchStore(
+    std::shared_ptr<const CoefficientStore> inner,
+    std::shared_ptr<SharedFetchCache> cache)
+    : inner_(std::move(inner)), cache_(std::move(cache)) {
+  WB_CHECK(inner_ != nullptr);
+  WB_CHECK(cache_ != nullptr);
+}
+
+void SharedFetchStore::Add(uint64_t key, double delta) {
+  (void)key;
+  (void)delta;
+  WB_CHECK(false) << "Add() on a read-only SharedFetchStore";
+}
+
+std::shared_ptr<const CoefficientStore> SharedFetchStore::PinVersion() const {
+  std::shared_ptr<const CoefficientStore> pinned = inner_->PinVersion();
+  if (pinned == nullptr) return nullptr;  // inner stable -> so are we
+  return std::make_shared<SharedFetchStore>(std::move(pinned), cache_);
+}
+
+Result<double> SharedFetchStore::DoFetch(uint64_t key, IoStats* io) const {
+  double value = 0.0;
+  if (cache_->Lookup(key, &value)) return value;
+  Result<double> fetched = DelegateFetch(*inner_, key, io);
+  if (fetched.ok()) cache_->Insert(key, fetched.value());
+  return fetched;
+}
+
+Status SharedFetchStore::FillMisses(std::span<const uint64_t> keys,
+                                    std::span<const uint32_t> shards,
+                                    std::span<double> out,
+                                    const std::vector<size_t>& missing_index,
+                                    IoStats* io) const {
+  std::vector<uint64_t> miss_keys;
+  miss_keys.reserve(missing_index.size());
+  for (size_t i : missing_index) miss_keys.push_back(keys[i]);
+  std::vector<double> miss_values(miss_keys.size());
+  Status status;
+  if (shards.empty()) {
+    status = DelegateFetchBatch(*inner_, miss_keys, miss_values, io);
+  } else {
+    std::vector<uint32_t> miss_shards;
+    miss_shards.reserve(missing_index.size());
+    for (size_t i : missing_index) miss_shards.push_back(shards[i]);
+    status = DelegateFetchBatchRouted(*inner_, miss_keys, miss_shards,
+                                      miss_values, io);
+  }
+  if (!status.ok()) return status;
+  for (size_t j = 0; j < missing_index.size(); ++j) {
+    out[missing_index[j]] = miss_values[j];
+  }
+  cache_->InsertBatch(miss_keys, miss_values);
+  return Status::OK();
+}
+
+Status SharedFetchStore::DoFetchBatch(std::span<const uint64_t> keys,
+                                      std::span<double> out,
+                                      IoStats* io) const {
+  std::vector<size_t> missing;
+  cache_->Partition(keys, out, &missing);
+  if (missing.empty()) return Status::OK();
+  return FillMisses(keys, {}, out, missing, io);
+}
+
+Status SharedFetchStore::DoFetchBatchRouted(std::span<const uint64_t> keys,
+                                            std::span<const uint32_t> shards,
+                                            std::span<double> out,
+                                            IoStats* io) const {
+  std::vector<size_t> missing;
+  cache_->Partition(keys, out, &missing);
+  if (missing.empty()) return Status::OK();
+  return FillMisses(keys, shards, out, missing, io);
+}
+
+Status SharedFetchStore::Prefetch(std::span<const uint64_t> keys,
+                                  IoStats* io) const {
+  // Dedup and drop warm keys first: the union of several sessions' upcoming
+  // quanta overlaps heavily (that is the point), and the backend should see
+  // each cold key exactly once.
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> cold;
+  seen.reserve(keys.size());
+  double ignored = 0.0;
+  for (uint64_t key : keys) {
+    if (!seen.insert(key).second) continue;
+    if (cache_->Lookup(key, &ignored)) continue;
+    cold.push_back(key);
+  }
+  if (cold.empty()) return Status::OK();
+  std::vector<double> values(cold.size());
+  Status status = DelegateFetchBatch(*inner_, cold, values, io);
+  if (status.ok()) {
+    cache_->InsertBatch(cold, values);
+    return status;
+  }
+  // Faulted batch: salvage per key so one bad coefficient does not defeat
+  // sharing for the whole group. Sessions will meet the bad keys themselves
+  // and apply their own FaultPolicy.
+  Status first = status;
+  for (size_t i = 0; i < cold.size(); ++i) {
+    Result<double> value = DelegateFetch(*inner_, cold[i], io);
+    if (value.ok()) cache_->Insert(cold[i], value.value());
+  }
+  return first;
+}
+
+}  // namespace wavebatch::server

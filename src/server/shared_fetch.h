@@ -1,0 +1,165 @@
+#ifndef WAVEBATCH_SERVER_SHARED_FETCH_H_
+#define WAVEBATCH_SERVER_SHARED_FETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/coefficient_store.h"
+
+namespace wavebatch::server {
+
+/// The cross-session I/O pool behind one serving group: coefficient values
+/// already retrieved from the backing store this epoch, shared by every
+/// live session pinned to that epoch. Observation 1 ("I/O sharing is
+/// considerable") applied *across* query batches: two concurrent batches
+/// over the same view overlap heavily in their important coefficients, so
+/// the second session's fetches are mostly warm.
+///
+/// Thread-safe: lookups take a shared lock, inserts an exclusive one.
+/// Values never change once inserted (the group is pinned to one immutable
+/// epoch snapshot), so the cache never invalidates — it is dropped whole
+/// when its group retires. hits/misses are the backend-I/O ledger: every
+/// key served from the cache is a backend fetch somebody else already paid
+/// for.
+class SharedFetchCache {
+ public:
+  /// True (and *value set) when `key` is cached. Counts one hit or miss.
+  bool Lookup(uint64_t key, double* value) const {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = values_.find(key);
+      if (it != values_.end()) {
+        *value = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Splits `keys` into cached and missing: out[i] is filled for every
+  /// cached keys[i] and `missing_index` receives the positions of the
+  /// uncached ones (in order, duplicates preserved). One hit/miss is
+  /// counted per key — the ledger stays per-coefficient.
+  void Partition(std::span<const uint64_t> keys, std::span<double> out,
+                 std::vector<size_t>* missing_index) const {
+    size_t hits = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        auto it = values_.find(keys[i]);
+        if (it != values_.end()) {
+          out[i] = it->second;
+          ++hits;
+        } else {
+          missing_index->push_back(i);
+        }
+      }
+    }
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    misses_.fetch_add(keys.size() - hits, std::memory_order_relaxed);
+  }
+
+  void Insert(uint64_t key, double value) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    values_.emplace(key, value);
+  }
+
+  /// Inserts values[i] under keys[i] for every i. Re-inserting an existing
+  /// key is a no-op (values are immutable within an epoch).
+  void InsertBatch(std::span<const uint64_t> keys,
+                   std::span<const double> values) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      values_.emplace(keys[i], values[i]);
+    }
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return values_.size();
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, double> values_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// Read-only decorator a serving group hands its sessions: fetches are
+/// served from the group's SharedFetchCache when warm and delegated to the
+/// pinned inner snapshot (then cached) when cold. The paper's per-session
+/// cost model is untouched — the public Fetch/FetchBatch wrappers charge
+/// one retrieval per coefficient whether it came from the cache or the
+/// backend, so a session's io() is bit-identical to an isolated run; what
+/// the cache changes is how many of those retrievals reach the *backend*
+/// (the shared hits/misses ledger measures exactly that split).
+///
+/// `inner` must be stable for this store's lifetime — its own snapshot
+/// (PinVersion() returned it, or the store is immutable). Mixing epochs in
+/// one cache would serve stale values; QueryService guarantees this by
+/// rotating to a fresh cache+store pair on every epoch refresh.
+class SharedFetchStore : public CoefficientStore {
+ public:
+  SharedFetchStore(std::shared_ptr<const CoefficientStore> inner,
+                   std::shared_ptr<SharedFetchCache> cache);
+
+  double Peek(uint64_t key) const override { return inner_->Peek(key); }
+  /// Read-only view: aborts.
+  void Add(uint64_t key, double delta) override;
+  uint64_t NumNonZero() const override { return inner_->NumNonZero(); }
+  double SumAbs() const override { return inner_->SumAbs(); }
+  void ForEachNonZero(
+      const std::function<void(uint64_t, double)>& fn) const override {
+    inner_->ForEachNonZero(fn);
+  }
+  std::string name() const override { return "shared(" + inner_->name() + ")"; }
+  const KeyRouter* router() const override { return inner_->router(); }
+  std::shared_ptr<const CoefficientStore> PinVersion() const override;
+
+  const SharedFetchCache& cache() const { return *cache_; }
+
+  /// Group prefetch: retrieves the keys of `keys` not yet cached from the
+  /// inner store with one batched fetch and caches them, so later session
+  /// fetches are warm. Duplicates and already-cached keys cost nothing.
+  /// Nothing is charged to any session (`io` collects only the inner
+  /// backend's sub-model counters, e.g. block reads; pass nullptr to skip).
+  /// Best-effort under faults: when the batch fails it falls back to
+  /// per-key fetches, caching what succeeds — unavailable keys are left for
+  /// sessions to observe under their own FaultPolicy. Returns the first
+  /// non-OK Status seen (the prefetch itself still completed).
+  Status Prefetch(std::span<const uint64_t> keys, IoStats* io = nullptr) const;
+
+ protected:
+  Result<double> DoFetch(uint64_t key, IoStats* io) const override;
+  Status DoFetchBatch(std::span<const uint64_t> keys, std::span<double> out,
+                      IoStats* io) const override;
+  Status DoFetchBatchRouted(std::span<const uint64_t> keys,
+                            std::span<const uint32_t> shards,
+                            std::span<double> out, IoStats* io) const override;
+
+ private:
+  /// Fetches the missing subset `missing_index` of `keys` from the inner
+  /// store (routed when `shards` is non-empty), scatters the values into
+  /// `out`, and caches them. All-or-nothing like every batch hook.
+  Status FillMisses(std::span<const uint64_t> keys,
+                    std::span<const uint32_t> shards, std::span<double> out,
+                    const std::vector<size_t>& missing_index, IoStats* io) const;
+
+  std::shared_ptr<const CoefficientStore> inner_;
+  std::shared_ptr<SharedFetchCache> cache_;
+};
+
+}  // namespace wavebatch::server
+
+#endif  // WAVEBATCH_SERVER_SHARED_FETCH_H_

@@ -1,6 +1,7 @@
 #include "storage/block_store.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 
@@ -8,9 +9,12 @@ namespace wavebatch {
 
 BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
                        uint64_t block_size, uint64_t cache_blocks)
-    : inner_(std::move(inner)),
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      mutable_inner_(owned_.get()),
       block_size_(block_size),
-      cache_blocks_(cache_blocks) {
+      cache_blocks_(cache_blocks),
+      pool_(std::make_shared<BufferPool>()) {
   WB_CHECK(inner_ != nullptr);
   WB_CHECK_GT(block_size_, 0u);
   auto& registry = telemetry::MetricsRegistry::Default();
@@ -29,20 +33,41 @@ BlockStore::BlockStore(std::unique_ptr<CoefficientStore> inner,
   lru_capacity_gauge_->Set(static_cast<double>(cache_blocks_));
 }
 
+BlockStore::BlockStore(std::shared_ptr<const CoefficientStore> pinned,
+                       const BlockStore& parent)
+    : pinned_inner_(std::move(pinned)),
+      inner_(pinned_inner_.get()),
+      block_size_(parent.block_size_),
+      cache_blocks_(parent.cache_blocks_),
+      pool_(parent.pool_),
+      block_reads_metric_(parent.block_reads_metric_),
+      block_hits_metric_(parent.block_hits_metric_),
+      lru_occupancy_gauge_(parent.lru_occupancy_gauge_),
+      lru_capacity_gauge_(parent.lru_capacity_gauge_) {
+  WB_CHECK(inner_ != nullptr);
+}
+
+std::shared_ptr<const CoefficientStore> BlockStore::PinVersion() const {
+  std::shared_ptr<const CoefficientStore> pinned = inner_->PinVersion();
+  if (pinned == nullptr) return nullptr;  // inner is its own snapshot
+  return std::shared_ptr<const CoefficientStore>(
+      new BlockStore(std::move(pinned), *this));
+}
+
 double BlockStore::Peek(uint64_t key) const { return inner_->Peek(key); }
 
 bool BlockStore::TouchLocked(uint64_t block) const {
-  auto it = in_cache_.find(block);
-  if (it != in_cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  auto it = pool_->in_cache.find(block);
+  if (it != pool_->in_cache.end()) {
+    pool_->lru.splice(pool_->lru.begin(), pool_->lru, it->second);
     return true;
   }
   if (cache_blocks_ > 0) {
-    lru_.push_front(block);
-    in_cache_[block] = lru_.begin();
-    if (lru_.size() > cache_blocks_) {
-      in_cache_.erase(lru_.back());
-      lru_.pop_back();
+    pool_->lru.push_front(block);
+    pool_->in_cache[block] = pool_->lru.begin();
+    if (pool_->lru.size() > cache_blocks_) {
+      pool_->in_cache.erase(pool_->lru.back());
+      pool_->lru.pop_back();
     }
   }
   return false;
@@ -52,7 +77,7 @@ Result<double> BlockStore::DoFetch(uint64_t key, IoStats* io) const {
   Result<double> value = DelegateFetch(*inner_, key, io);
   if (!value.ok()) return value;
   {
-    std::lock_guard<std::mutex> lock(lru_mu_);
+    std::lock_guard<std::mutex> lock(pool_->mu);
     if (TouchLocked(key / block_size_)) {
       if (io != nullptr) ++io->block_hits;
       block_hits_metric_->Add();
@@ -60,7 +85,7 @@ Result<double> BlockStore::DoFetch(uint64_t key, IoStats* io) const {
       if (io != nullptr) ++io->block_reads;
       block_reads_metric_->Add();
     }
-    lru_occupancy_gauge_->Set(static_cast<double>(lru_.size()));
+    lru_occupancy_gauge_->Set(static_cast<double>(pool_->lru.size()));
   }
   return value;
 }
@@ -72,7 +97,7 @@ void BlockStore::TouchBatch(std::span<const uint64_t> keys,
   // lock acquisition per batch, not per key.
   std::unordered_set<uint64_t> seen;
   seen.reserve(keys.size());
-  std::lock_guard<std::mutex> lock(lru_mu_);
+  std::lock_guard<std::mutex> lock(pool_->mu);
   for (uint64_t key : keys) {
     const uint64_t block = key / block_size_;
     if (!seen.insert(block).second) continue;
@@ -84,7 +109,7 @@ void BlockStore::TouchBatch(std::span<const uint64_t> keys,
       block_reads_metric_->Add();
     }
   }
-  lru_occupancy_gauge_->Set(static_cast<double>(lru_.size()));
+  lru_occupancy_gauge_->Set(static_cast<double>(pool_->lru.size()));
 }
 
 Status BlockStore::DoFetchBatch(std::span<const uint64_t> keys,
@@ -107,7 +132,11 @@ Status BlockStore::DoFetchBatchRouted(std::span<const uint64_t> keys,
   return Status::OK();
 }
 
-void BlockStore::Add(uint64_t key, double delta) { inner_->Add(key, delta); }
+void BlockStore::Add(uint64_t key, double delta) {
+  WB_CHECK(mutable_inner_ != nullptr)
+      << "Add() on a pinned BlockStore view (epoch snapshots are read-only)";
+  mutable_inner_->Add(key, delta);
+}
 
 uint64_t BlockStore::NumNonZero() const { return inner_->NumNonZero(); }
 

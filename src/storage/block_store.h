@@ -25,6 +25,12 @@ namespace wavebatch {
 /// the hit/miss split of an individual session depends on interleaving —
 /// run with cache_blocks = 0 (unbuffered) when per-session block counts
 /// must be deterministic.
+///
+/// PinVersion() forwards: over a versioned inner store it returns a new
+/// BlockStore wrapping the pinned inner snapshot, *sharing this store's
+/// buffer pool* — a real buffer pool caches blocks of the medium, not of
+/// one epoch view, so reads through any pinned view warm the same LRU.
+/// Pinned views are read-only: Add() on one aborts.
 class BlockStore : public CoefficientStore {
  public:
   /// Wraps `inner`. `block_size` is coefficients per block (power of two
@@ -45,6 +51,12 @@ class BlockStore : public CoefficientStore {
   /// block-granularity wrapper (a sharded plane is often block-simulated
   /// per shard or wrapped whole).
   const KeyRouter* router() const override { return inner_->router(); }
+
+  /// Pins the inner store's current epoch and returns a BlockStore over
+  /// that snapshot, sharing this store's LRU buffer pool (see class
+  /// comment). Null when the inner store is its own snapshot — then this
+  /// wrapper is stable too and callers use it directly.
+  std::shared_ptr<const CoefficientStore> PinVersion() const override;
 
   uint64_t block_size() const { return block_size_; }
 
@@ -69,27 +81,47 @@ class BlockStore : public CoefficientStore {
                             std::span<double> out, IoStats* io) const override;
 
  private:
+  /// The simulated buffer pool, shared between a store and every pinned
+  /// view it hands out (one medium, one pool). The LRU is logically cache
+  /// state, not data: reads mutate it under `mu` so the counted read path
+  /// stays const and thread-safe.
+  struct BufferPool {
+    mutable std::mutex mu;
+    // LRU: most recent at front.
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> in_cache;
+  };
+
+  /// Pinned-view constructor: wraps the pinned inner snapshot and shares
+  /// the parent's buffer pool and metrics. Read-only (mutable_inner_ stays
+  /// null).
+  BlockStore(std::shared_ptr<const CoefficientStore> pinned,
+             const BlockStore& parent);
+
   /// Records the block access; returns true on cache hit. Caller must hold
-  /// lru_mu_.
+  /// pool_->mu.
   bool TouchLocked(uint64_t block) const;
 
   /// Post-success block accounting shared by both batch hooks: touches each
   /// distinct block of `keys` once, in first-appearance order.
   void TouchBatch(std::span<const uint64_t> keys, IoStats* io) const;
 
-  std::unique_ptr<CoefficientStore> inner_;
+  std::unique_ptr<CoefficientStore> owned_;
+  /// Keeps a pinned inner snapshot alive for a pinned view.
+  std::shared_ptr<const CoefficientStore> pinned_inner_;
+  /// The store every read path delegates to; never null.
+  const CoefficientStore* inner_;
+  /// Non-const alias of inner_ for Add(); null for a pinned (read-only)
+  /// view.
+  CoefficientStore* mutable_inner_ = nullptr;
+
   uint64_t block_size_;
   uint64_t cache_blocks_;
-  /// The LRU buffer is logically cache state, not data: reads mutate it
-  /// under lru_mu_ so the counted read path stays const and thread-safe.
-  mutable std::mutex lru_mu_;
-  // LRU: most recent at front.
-  mutable std::list<uint64_t> lru_;
-  mutable std::unordered_map<uint64_t, std::list<uint64_t>::iterator>
-      in_cache_;
+  std::shared_ptr<BufferPool> pool_;
 
   /// Process-wide twins of the per-session block counters, labeled by store
-  /// name; bound in the constructor body (name() is virtual).
+  /// name; bound in the constructor body (name() is virtual). Pinned views
+  /// share the parent's handles — one pool, one metric stream.
   telemetry::Counter* block_reads_metric_;
   telemetry::Counter* block_hits_metric_;
   /// Cache-pressure gauge pair: blocks currently buffered vs. the buffer's

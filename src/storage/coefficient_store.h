@@ -202,10 +202,14 @@ class CoefficientStore {
   /// consistent version no matter how many ingests or merges land
   /// meanwhile. The default (null) means "this store is its own snapshot":
   /// its contents are stable for the reader's lifetime, so callers use the
-  /// store directly. Decorators deliberately do NOT forward this hook —
-  /// forwarding would hand back the naked inner snapshot and silently drop
-  /// the decorator from the read path; wrap a pinned snapshot instead when
-  /// a decorated epoch view is wanted.
+  /// store directly. Decorators MUST forward this hook by *re-wrapping*:
+  /// pin the inner store and, when it returns a snapshot, wrap that
+  /// snapshot in a new read-only decorator sharing the original's mutable
+  /// state (fault schedule, buffer pool), so the decorator stays on the
+  /// pinned read path. Returning the naked inner snapshot would silently
+  /// drop the decorator; returning null over a versioned inner store would
+  /// leave sessions un-pinned and exposed to epochs advancing
+  /// mid-evaluation.
   virtual std::shared_ptr<const CoefficientStore> PinVersion() const {
     return nullptr;
   }

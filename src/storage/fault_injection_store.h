@@ -44,6 +44,13 @@ struct FaultInjectionOptions {
 /// Thread-safe like any store: the fault state is guarded by a mutex, so
 /// concurrent sessions see one global fetch ordinal (the schedule is
 /// deterministic only under a single-threaded caller).
+///
+/// PinVersion() forwards: over a versioned inner store it returns a new
+/// FaultInjectionStore wrapping the pinned inner snapshot, *sharing this
+/// store's fault state* — the schedule keeps one global ordinal across the
+/// original and every pinned view, and FailKey()/Heal() on the original
+/// affect pinned views immediately (a fault models the medium, not the
+/// epoch). Pinned views are read-only: Add() on one aborts.
 class FaultInjectionStore : public CoefficientStore {
  public:
   /// Owning wrap.
@@ -56,20 +63,23 @@ class FaultInjectionStore : public CoefficientStore {
                       FaultInjectionOptions options = FaultInjectionOptions());
 
   /// Makes every fetch of `key` fail (permanent fault) until Heal().
+  /// Visible to every pinned view sharing this store's fault state.
   void FailKey(uint64_t key);
 
   /// Clears all configured faults: failed keys, fail_every_n, and any
   /// pending fail_at_fetch. Latency is left in place (it is not a fault).
+  /// Heals pinned views too (shared fault state).
   void Heal();
 
-  /// Counted fetches seen so far (successful or faulted).
+  /// Counted fetches seen so far (successful or faulted), across this store
+  /// and every pinned view sharing its state.
   uint64_t fetch_count() const;
 
-  /// Faults fired so far.
+  /// Faults fired so far (same shared scope as fetch_count()).
   uint64_t injected_failures() const;
 
   double Peek(uint64_t key) const override { return inner_->Peek(key); }
-  void Add(uint64_t key, double delta) override { inner_->Add(key, delta); }
+  void Add(uint64_t key, double delta) override;
   uint64_t NumNonZero() const override { return inner_->NumNonZero(); }
   double SumAbs() const override { return inner_->SumAbs(); }
   void ForEachNonZero(
@@ -81,6 +91,12 @@ class FaultInjectionStore : public CoefficientStore {
   /// Forwards the inner store's partition: a faulty sharded plane routes
   /// exactly like a healthy one (faults hit the counted path, not routing).
   const KeyRouter* router() const override { return inner_->router(); }
+
+  /// Pins the inner store's current epoch and returns a FaultInjectionStore
+  /// over that snapshot, sharing this store's fault state (see class
+  /// comment). Null when the inner store is its own snapshot — then this
+  /// wrapper is stable too and callers use it directly.
+  std::shared_ptr<const CoefficientStore> PinVersion() const override;
 
  protected:
   Result<double> DoFetch(uint64_t key, IoStats* io) const override;
@@ -99,22 +115,40 @@ class FaultInjectionStore : public CoefficientStore {
                             std::span<double> out, IoStats* io) const override;
 
  private:
+  /// Fault schedule + ordinal counters, shared between a store and every
+  /// pinned view it hands out so the schedule stays globally deterministic
+  /// and Heal() reaches all of them.
+  struct FaultState {
+    mutable std::mutex mu;
+    FaultInjectionOptions options;
+    std::unordered_set<uint64_t> failed_keys;
+    uint64_t fetch_count = 0;
+    uint64_t injected_failures = 0;
+  };
+
+  /// Pinned-view constructor: wraps the pinned inner snapshot and shares
+  /// the parent's fault state. Read-only (mutable_inner_ stays null).
+  FaultInjectionStore(std::shared_ptr<const CoefficientStore> pinned,
+                      std::shared_ptr<FaultState> state);
+
   /// Advances the fetch ordinal for `key` and returns the injected fault,
-  /// if any fires. Caller must hold mu_.
+  /// if any fires. Caller must hold state_->mu.
   Status CheckOneLocked(uint64_t key) const;
 
   void InjectLatency() const;
 
   std::unique_ptr<CoefficientStore> owned_;
-  CoefficientStore* inner_;
+  /// Keeps a pinned inner snapshot alive for a pinned view.
+  std::shared_ptr<const CoefficientStore> pinned_inner_;
+  /// The store every read path delegates to; never null.
+  const CoefficientStore* inner_;
+  /// Non-const alias of inner_ for Add(); null for a pinned (read-only)
+  /// view.
+  CoefficientStore* mutable_inner_ = nullptr;
 
-  mutable std::mutex mu_;
-  mutable FaultInjectionOptions options_;
-  mutable std::unordered_set<uint64_t> failed_keys_;
-  mutable uint64_t fetch_count_ = 0;
-  mutable uint64_t injected_failures_ = 0;
+  std::shared_ptr<FaultState> state_;
 
-  /// Process-wide telemetry twin of injected_failures_, labeled by store
+  /// Process-wide telemetry twin of injected_failures, labeled by store
   /// name; bound in the constructor body (name() is virtual).
   telemetry::Counter* injected_faults_metric_;
 };

@@ -156,26 +156,41 @@ VersionedStore::VersionedStore(std::unique_ptr<CoefficientStore> base,
 VersionedStore::~VersionedStore() { WaitForMerge(); }
 
 void VersionedStore::Ingest(const SparseVec& delta) {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  active_.Apply(delta);
-  ingests_metric_->Add(1);
-  ingested_entries_metric_->Add(delta.size());
-  MaybeAutoPublishLocked();
+  uint64_t published = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    active_.Apply(delta);
+    ingests_metric_->Add(1);
+    ingested_entries_metric_->Add(delta.size());
+    published = MaybeAutoPublishLocked();
+  }
+  NotifyPublished(published);
 }
 
 void VersionedStore::Add(uint64_t key, double delta) {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  active_.ApplyOne(key, delta);
-  ingests_metric_->Add(1);
-  ingested_entries_metric_->Add(1);
-  MaybeAutoPublishLocked();
+  uint64_t published = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    active_.ApplyOne(key, delta);
+    ingests_metric_->Add(1);
+    ingested_entries_metric_->Add(1);
+    published = MaybeAutoPublishLocked();
+  }
+  NotifyPublished(published);
 }
 
-void VersionedStore::MaybeAutoPublishLocked() {
+uint64_t VersionedStore::MaybeAutoPublishLocked() {
   ++pending_since_publish_;
   if (options_.publish_every > 0 &&
       pending_since_publish_ >= options_.publish_every) {
-    PublishLocked();
+    return PublishLocked();
+  }
+  return 0;
+}
+
+void VersionedStore::NotifyPublished(uint64_t epoch) const {
+  if (epoch != 0 && options_.on_publish != nullptr) {
+    options_.on_publish(epoch);
   }
 }
 
@@ -193,8 +208,13 @@ uint64_t VersionedStore::PublishLocked() {
 }
 
 uint64_t VersionedStore::Publish() {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  return PublishLocked();
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    epoch = PublishLocked();
+  }
+  NotifyPublished(epoch);
+  return epoch;
 }
 
 uint64_t VersionedStore::Merge() {
@@ -246,14 +266,26 @@ void VersionedStore::FoldAndSwap(
                    : HashMerge(*old_base, *overlay);
     WB_CHECK(new_base != nullptr) << "merge_fn returned null";
   }
-  std::lock_guard<std::mutex> lock(write_mu_);
-  base_ = std::move(new_base);
-  merging_ = nullptr;
-  // Republish on the new base: the post-merge epoch carries exactly the
-  // ingests that landed while the fold ran (they stayed in active_).
-  PublishLocked();
-  merges_metric_->Add(1);
-  merge_in_flight_ = false;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    base_ = std::move(new_base);
+    merging_ = nullptr;
+    // Republish on the new base: the post-merge epoch carries exactly the
+    // ingests that landed while the fold ran (they stayed in active_).
+    epoch = PublishLocked();
+    merges_metric_->Add(1);
+  }
+  // Off-lock (the callback may re-enter the store) but BEFORE the merge is
+  // marked complete: the destructor waits on merge_in_flight_, so firing
+  // after would let the store die under a background-merge callback. The
+  // one restriction this buys: on_publish must not block on Merge()/
+  // WaitForMerge() (it would self-deadlock).
+  NotifyPublished(epoch);
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    merge_in_flight_ = false;
+  }
   merge_cv_.notify_all();
 }
 

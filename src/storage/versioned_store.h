@@ -29,9 +29,11 @@ namespace wavebatch {
 /// concurrent readers may fetch from it while the owning VersionedStore
 /// ingests and merges. It is the object PinVersion() hands to sessions.
 ///
-/// To decorate an epoch view (fault injection, block I/O), wrap the pinned
-/// SnapshotStore — SnapshotStore itself inherits the base-class PinVersion
-/// (null: a snapshot is its own snapshot).
+/// Decorated epoch views come from pinning *through* the decorator:
+/// FaultInjectionStore/BlockStore forward PinVersion by re-wrapping the
+/// pinned SnapshotStore, so sessions over a decorated versioned plane stay
+/// both pinned and decorated. SnapshotStore itself inherits the base-class
+/// PinVersion (null: a snapshot is its own snapshot).
 class SnapshotStore : public CoefficientStore {
  public:
   /// `base` must be non-null; `overlay` may be null (pure delegation).
@@ -90,6 +92,19 @@ struct VersionedStoreOptions {
   /// since the last publish. 0 = publish only when asked. Auto-publishing
   /// bounds the staleness of PinVersion() without a maintenance thread.
   uint64_t publish_every = 0;
+
+  /// Invoked with the new epoch number after every publish — explicit
+  /// Publish(), auto-publish (publish_every), and the republish that
+  /// completes a merge. Called OUTSIDE the writer lock (the epoch is
+  /// already visible to readers), so the callback may call back into the
+  /// store; it must be thread-safe, since background merges publish from
+  /// pool threads, and must not block on Merge()/WaitForMerge() — a
+  /// merge-completion callback fires before its merge is marked complete
+  /// (so the store cannot be destroyed mid-callback) and would
+  /// self-deadlock. Typical use: drop superseded plans
+  /// (`PlanCache::InvalidateStale`) so dead-epoch entries don't linger
+  /// until LRU eviction.
+  std::function<void(uint64_t epoch)> on_publish;
 };
 
 /// The streaming coefficient plane: a read-optimized base store plus an
@@ -210,7 +225,12 @@ class VersionedStore : public CoefficientStore {
   /// StartBackgroundMerge.
   void FoldAndSwap(std::shared_ptr<const CoefficientStore> old_base,
                    std::shared_ptr<const DeltaOverlay> overlay);
-  void MaybeAutoPublishLocked();
+  /// Returns the epoch it published, or 0 if the auto-publish threshold was
+  /// not reached (PublishLocked never returns 0, so 0 is unambiguous).
+  uint64_t MaybeAutoPublishLocked();
+  /// Fires options_.on_publish for a nonzero epoch. Must be called with
+  /// write_mu_ released — the callback may re-enter the store.
+  void NotifyPublished(uint64_t epoch) const;
 
   static std::unique_ptr<CoefficientStore> HashMerge(
       const CoefficientStore& base, const DeltaOverlay& overlay);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "telemetry/metrics.h"
 #include "util/check.h"
@@ -25,6 +26,14 @@ telemetry::Counter& TasksExecuted() {
       telemetry::MetricsRegistry::Default().GetCounter(
           "wavebatch_thread_pool_tasks_total", {},
           "Tasks dequeued and executed by pool workers.");
+  return *counter;
+}
+
+telemetry::Counter& TaskExceptions() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Default().GetCounter(
+          "wavebatch_thread_pool_task_exceptions_total", {},
+          "Tasks that terminated by throwing (caught by the worker).");
   return *counter;
 }
 
@@ -70,9 +79,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // The gauge/counter accounting pairs with Submit()'s increment and must
+    // balance exactly once per dequeued task, whether the task returns or
+    // throws — otherwise the queue-depth gauge drifts and anything reading
+    // it for load decisions (server backpressure) sees phantom load.
     QueueDepth().Add(-1.0);
     TasksExecuted().Add();
-    task();
+    // A throwing task must not take the worker thread down with it (an
+    // uncaught exception on a thread is std::terminate): the pool is shared
+    // process-wide infrastructure, and one bad task would silently shrink
+    // it for every later caller. The exception is counted and dropped;
+    // tasks that need their error observed return it through their own
+    // channel (ParallelFor rethrows on the calling thread).
+    try {
+      task();
+    } catch (...) {
+      TaskExceptions().Add();
+    }
   }
 }
 
@@ -95,6 +118,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     std::atomic<size_t> done{0};
     std::mutex mu;
     std::condition_variable cv;
+    std::exception_ptr error;  // first chunk exception; guarded by mu
   };
   auto state = std::make_shared<State>();
   auto run_chunks = [state, n, grain, num_chunks, &fn] {
@@ -102,7 +126,17 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
       const size_t chunk = state->next.fetch_add(1);
       if (chunk >= num_chunks) return;
       const size_t begin = chunk * grain;
-      fn(begin, std::min(n, begin + grain));
+      // A throwing fn must still count its chunk as done: the caller blocks
+      // on done == num_chunks, and a lost increment would deadlock it (and
+      // leave `fn`, captured by reference in the helpers, dangling). The
+      // first exception is kept and rethrown on the calling thread once
+      // every chunk has finished; later chunks still run.
+      try {
+        fn(begin, std::min(n, begin + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error == nullptr) state->error = std::current_exception();
+      }
       if (state->done.fetch_add(1) + 1 == num_chunks) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->cv.notify_all();
@@ -120,6 +154,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock,
                  [&] { return state->done.load() == num_chunks; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 ThreadPool& ThreadPool::Shared() {

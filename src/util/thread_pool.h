@@ -41,7 +41,10 @@ class ThreadPool {
   static constexpr size_t kDefaultGrain = 1024;
 
   /// Enqueues `task` for execution on some worker. Fire-and-forget; use
-  /// ParallelFor when completion must be observed.
+  /// ParallelFor when completion must be observed. A task that throws does
+  /// not kill its worker: the exception is counted
+  /// (wavebatch_thread_pool_task_exceptions_total) and dropped, and the
+  /// queue-depth/tasks accounting stays balanced either way.
   void Submit(std::function<void()> task);
 
   /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
@@ -57,6 +60,11 @@ class ThreadPool {
   /// every worker is busy or the pool is tiny. Chunk boundaries depend only
   /// on (n, grain), never on thread count — results must not depend on
   /// which thread ran a chunk.
+  ///
+  /// If `fn` throws, every chunk still completes (later chunks run; outputs
+  /// are then unspecified) and the FIRST exception is rethrown here on the
+  /// calling thread — never on a worker, and never leaving the caller
+  /// blocked or `fn` dangling.
   void ParallelFor(size_t n, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 

@@ -225,11 +225,10 @@ TEST_F(DecoratorPassthroughTest, StackedDecoratorsComposeWithoutDoubleCount) {
                  "stacked");
 }
 
-TEST_F(DecoratorPassthroughTest, DecoratorsDoNotForwardPinVersion) {
-  // Forwarding PinVersion through a decorator would hand sessions the
-  // naked inner snapshot and silently drop the decorator from the read
-  // path — the seam's contract is that decorators return null and callers
-  // wrap a pinned snapshot instead.
+TEST_F(DecoratorPassthroughTest, DecoratorsOverStableInnerAreTheirOwnSnapshot) {
+  // Over an inner store that is its own snapshot (stable contents), the
+  // decorator is stable too, so PinVersion stays null and callers use the
+  // decorator directly.
   FaultInjectionStore faulty(MakeShardedInner());
   EXPECT_EQ(faulty.PinVersion(), nullptr);
   BlockStore blocked(MakeShardedInner(), 8, 0);
@@ -238,6 +237,86 @@ TEST_F(DecoratorPassthroughTest, DecoratorsDoNotForwardPinVersion) {
   SnapshotStore snapshot(0, inner, nullptr);
   EXPECT_EQ(snapshot.PinVersion(), nullptr)
       << "a snapshot is its own snapshot";
+}
+
+TEST_F(DecoratorPassthroughTest,
+       FaultInjectionStoreForwardsPinVersionOverVersionedInner) {
+  // The regression this guards: a decorator inheriting the base-class
+  // PinVersion (null) over a VersionedStore left sessions un-pinned, so
+  // epochs could advance mid-evaluation. The forwarded pin must (a) stay
+  // decorated, (b) isolate the pinned view from later epochs, and
+  // (c) share the fault state with the original wrapper.
+  auto base = std::make_unique<HashStore>();
+  reference_->ForEachNonZero(
+      [&](uint64_t key, double value) { base->Add(key, value); });
+  auto versioned = std::make_unique<VersionedStore>(std::move(base));
+  VersionedStore* writer = versioned.get();
+  FaultInjectionStore faulty(std::move(versioned));
+
+  std::shared_ptr<const CoefficientStore> pinned = faulty.PinVersion();
+  ASSERT_NE(pinned, nullptr)
+      << "decorator over a versioned store must forward the pin";
+  EXPECT_EQ(pinned->name().rfind("faulty(", 0), 0u)
+      << "the pinned view must keep the decorator on the read path";
+
+  // Every read path of the pinned view matches the reference (same values,
+  // same accounting) — the decorated pin is a full store, not a shim.
+  AuditReadPaths(*pinned, probe_, PlainIo(), /*check_blocks=*/false,
+                 "pinned-faulty");
+
+  // The pin isolates: a later epoch is invisible to the pinned view but
+  // visible through the (un-pinned) decorator.
+  const uint64_t probe_key = probe_.keys.front();
+  const double old_value = probe_.expected.front();
+  writer->Add(probe_key, 5.0);
+  writer->Publish();
+  IoStats io;
+  Result<double> pinned_value = pinned->Fetch(probe_key, &io);
+  ASSERT_TRUE(pinned_value.ok());
+  EXPECT_EQ(*pinned_value, old_value);
+  Result<double> live_value = faulty.Fetch(probe_key, &io);
+  ASSERT_TRUE(live_value.ok());
+  EXPECT_EQ(*live_value, old_value + 5.0);
+
+  // Fault state is shared both ways: FailKey on the original faults the
+  // pinned view, pinned fetches advance the shared ordinal, and Heal()
+  // heals everything.
+  const uint64_t fetches_so_far = faulty.fetch_count();
+  EXPECT_GT(fetches_so_far, 0u) << "pinned fetches count on the shared state";
+  faulty.FailKey(probe_key);
+  EXPECT_FALSE(pinned->Fetch(probe_key, &io).ok());
+  EXPECT_EQ(faulty.injected_failures(), 1u);
+  faulty.Heal();
+  EXPECT_TRUE(pinned->Fetch(probe_key, &io).ok());
+}
+
+TEST_F(DecoratorPassthroughTest,
+       BlockStoreForwardsPinVersionAndSharesBufferPool) {
+  auto base = std::make_unique<HashStore>();
+  reference_->ForEachNonZero(
+      [&](uint64_t key, double value) { base->Add(key, value); });
+  BlockStore blocked(
+      std::make_unique<VersionedStore>(std::move(base)),
+      /*block_size=*/8, /*cache_blocks=*/64);
+
+  std::shared_ptr<const CoefficientStore> pinned = blocked.PinVersion();
+  ASSERT_NE(pinned, nullptr)
+      << "decorator over a versioned store must forward the pin";
+  EXPECT_EQ(pinned->name().rfind("blocked(", 0), 0u)
+      << "the pinned view must keep the block model on the read path";
+
+  // One buffer pool across original and pinned views (one medium, one
+  // pool): a block warmed through the pinned view hits when read through
+  // the original, and vice versa.
+  const uint64_t key = probe_.keys.front();
+  IoStats warm;
+  ASSERT_TRUE(pinned->Fetch(key, &warm).ok());
+  EXPECT_EQ(warm.block_reads, 1u);
+  EXPECT_EQ(warm.block_hits, 0u);
+  IoStats hit;
+  ASSERT_TRUE(blocked.Fetch(key, &hit).ok());
+  EXPECT_EQ(hit.block_reads, 0u);
+  EXPECT_EQ(hit.block_hits, 1u) << "the pinned view must share the LRU pool";
 }
 
 }  // namespace

@@ -223,7 +223,9 @@ TEST(PlanCacheTest, InvalidateStaleDropsSupersededEpochsOnly) {
   Fixture f;
   auto sse = std::make_shared<SsePenalty>();
   PlanCache cache(8);
-  for (uint64_t epoch : {1u, 2u, 3u, 5u}) {
+  // Descending order keeps all four resident: only an epoch *advance*
+  // triggers the automatic watermark drop.
+  for (uint64_t epoch : {5u, 3u, 2u, 1u}) {
     ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse, epoch).ok());
   }
   ASSERT_EQ(cache.size(), 4u);
@@ -244,6 +246,32 @@ TEST(PlanCacheTest, InvalidateStaleDropsSupersededEpochsOnly) {
   ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse).ok());
   EXPECT_EQ(cache.InvalidateStale(0), 0u);
   EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PlanCacheTest, WatermarkRetiresDeadEpochsInGetOrBuild) {
+  // The automatic half of epoch invalidation: nothing is wired to
+  // InvalidateStale, yet advancing the data_epoch seen by GetOrBuild must
+  // retire older-epoch plans on its own — dead-epoch entries must not
+  // squat in the LRU until capacity pressure reaches them.
+  Fixture f;
+  auto sse = std::make_shared<SsePenalty>();
+  PlanCache cache(64);
+
+  // A static (epoch-0) plan alongside the versioned traffic: the
+  // watermark must never touch it.
+  ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse).ok());
+
+  for (uint64_t epoch = 1; epoch <= 50; ++epoch) {
+    ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse, epoch).ok());
+    EXPECT_LE(cache.size(), 2u) << "epoch " << epoch
+                                << ": dead epochs must not accumulate";
+  }
+  // Exactly the static plan and the newest epoch remain.
+  EXPECT_EQ(cache.size(), 2u);
+  const uint64_t hits_before = cache.hits();
+  ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse).ok());
+  ASSERT_TRUE(cache.GetOrBuild(f.batch, f.strategy, sse, 50).ok());
+  EXPECT_EQ(cache.hits(), hits_before + 2);
 }
 
 }  // namespace

@@ -1,0 +1,525 @@
+// The serving front end's contract: a request served through QueryService —
+// admission queue, cross-session shared fetches, progress-aware scheduling
+// — produces results bit-identical to an isolated EvalSession over the same
+// plan and store, with identical per-session I/O accounting, across fault
+// policies and store shapes (unsharded, sharded S=4, versioned). What the
+// shared-fetch layer is allowed to change is backend traffic only: K
+// concurrent sessions over one FileStore must each cost the backend a
+// fraction of an isolated run. Plus the serving-specific surface: deadline
+// and target-bound completion, admission backpressure (queue depth and the
+// thread-pool gauge), and a writer publishing epochs under live traffic.
+
+#include "server/query_service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/generators.h"
+#include "engine/eval_plan.h"
+#include "engine/eval_session.h"
+#include "gtest/gtest.h"
+#include "penalty/sse.h"
+#include "server/shared_fetch.h"
+#include "storage/fault_injection_store.h"
+#include "storage/file_store.h"
+#include "storage/key_router.h"
+#include "storage/memory_store.h"
+#include "storage/sharded_store.h"
+#include "storage/versioned_store.h"
+#include "strategy/wavelet_strategy.h"
+#include "telemetry/metrics.h"
+#include "util/random.h"
+
+namespace wavebatch {
+namespace {
+
+using server::QueryRequest;
+using server::QueryResponse;
+using server::QueryService;
+using server::QueryServiceOptions;
+using server::SharedFetchCache;
+using server::SharedFetchStore;
+
+/// The serving fixture: a 2×16 Haar cube from 600 tuples and a family of
+/// small Count batches (distinct ranges per template id), SSE-ranked.
+struct ServingFixture {
+  Schema schema = Schema::Uniform(2, 16);
+  WaveletStrategy strategy{schema, WaveletKind::kHaar};
+  Relation rel;
+  std::shared_ptr<const SsePenalty> sse = std::make_shared<SsePenalty>();
+  std::shared_ptr<const WaveletStrategy> shared_strategy;
+
+  ServingFixture() : rel(MakeUniformRelation(schema, 600, 11)) {
+    shared_strategy = std::make_shared<WaveletStrategy>(schema, WaveletKind::kHaar);
+  }
+
+  std::shared_ptr<const CoefficientStore> BuildView() const {
+    return std::shared_ptr<const CoefficientStore>(
+        strategy.BuildStore(rel.FrequencyDistribution()));
+  }
+
+  QueryBatch MakeBatch(uint64_t template_id, size_t queries = 6) const {
+    QueryBatch batch(schema);
+    Rng rng(1000 + template_id);
+    for (size_t i = 0; i < queries; ++i) {
+      uint32_t lo0 = static_cast<uint32_t>(rng.UniformInt(16));
+      uint32_t hi0 = lo0 + static_cast<uint32_t>(rng.UniformInt(16 - lo0));
+      uint32_t lo1 = static_cast<uint32_t>(rng.UniformInt(16));
+      uint32_t hi1 = lo1 + static_cast<uint32_t>(rng.UniformInt(16 - lo1));
+      batch.Add(RangeSumQuery::Count(
+          Range::Create(schema, {{lo0, hi0}, {lo1, hi1}}).value()));
+    }
+    return batch;
+  }
+};
+
+/// Submits every request and drains the service on this thread. Responses
+/// land at the index of their request.
+std::vector<QueryResponse> Serve(QueryService& service,
+                                 const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResponse> responses(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Status admitted = service.Submit(
+        requests[i],
+        [&responses, i](QueryResponse r) { responses[i] = std::move(r); });
+    EXPECT_TRUE(admitted.ok()) << admitted;
+  }
+  service.RunUntilIdle();
+  return responses;
+}
+
+/// The reference: the same request on a private session over the same
+/// store, stepped by the same quantum, run to exactness.
+QueryResponse Isolated(const QueryRequest& request,
+                       std::shared_ptr<const CoefficientStore> store,
+                       const LinearStrategy& strategy, size_t quantum) {
+  auto plan =
+      EvalPlan::Build(request.batch, strategy, request.penalty).value();
+  EvalSession::Options options;
+  options.order = request.penalty != nullptr ? ProgressionOrder::kBiggestB
+                                             : ProgressionOrder::kKeyOrder;
+  options.fault_policy = request.fault_policy;
+  EvalSession session(plan, std::move(store), options);
+  while (!session.Done()) {
+    Result<size_t> stepped = session.StepBatch(quantum);
+    if (!stepped.ok()) break;  // kFail on a faulty store: stop like a server
+  }
+  QueryResponse response;
+  response.estimates = session.Estimates();
+  response.steps_taken = session.StepsTaken();
+  response.total_steps = session.TotalSteps();
+  response.skipped_coefficients = session.SkippedCoefficients();
+  response.io = session.io();
+  return response;
+}
+
+void ExpectBitIdentical(const QueryResponse& served,
+                        const QueryResponse& isolated, const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(served.estimates.size(), isolated.estimates.size());
+  for (size_t q = 0; q < served.estimates.size(); ++q) {
+    EXPECT_EQ(served.estimates[q], isolated.estimates[q]) << "query " << q;
+  }
+  EXPECT_EQ(served.steps_taken, isolated.steps_taken);
+  EXPECT_EQ(served.total_steps, isolated.total_steps);
+  EXPECT_EQ(served.skipped_coefficients, isolated.skipped_coefficients);
+  EXPECT_EQ(served.io, isolated.io)
+      << "per-session accounting must not see the shared cache";
+}
+
+/// N clients × both fault policies over one healthy store: bit-identical to
+/// isolated evaluation, including io() (sharing changes backend traffic,
+/// never the paper's per-session cost model).
+void GoldenAgainstIsolated(std::shared_ptr<const CoefficientStore> store,
+                           const ServingFixture& f, const char* label) {
+  SCOPED_TRACE(label);
+  constexpr size_t kQuantum = 16;
+  QueryServiceOptions options;
+  options.max_live_sessions = 16;
+  options.default_quantum = kQuantum;
+  QueryService service(store, f.shared_strategy, options);
+
+  std::vector<QueryRequest> requests;
+  for (uint64_t t = 0; t < 3; ++t) {
+    for (FaultPolicy policy : {FaultPolicy::kFail, FaultPolicy::kSkip}) {
+      QueryRequest request(f.MakeBatch(t));
+      request.penalty = f.sse;
+      request.fault_policy = policy;
+      requests.push_back(std::move(request));
+    }
+  }
+  std::vector<QueryResponse> responses = Serve(service, requests);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << responses[i].status;
+    EXPECT_TRUE(responses[i].exact);
+    QueryResponse reference =
+        Isolated(requests[i], store, f.strategy, kQuantum);
+    ExpectBitIdentical(responses[i], reference,
+                       ("request " + std::to_string(i)).c_str());
+  }
+  // The whole point: six sessions over three templates share one cache, so
+  // somebody's fetches were warm.
+  EXPECT_GT(service.shared_hits(), 0u);
+}
+
+TEST(QueryServiceGolden, MatchesIsolatedSessionsUnsharded) {
+  ServingFixture f;
+  GoldenAgainstIsolated(f.BuildView(), f, "unsharded hash view");
+}
+
+TEST(QueryServiceGolden, MatchesIsolatedSessionsShardedS4) {
+  ServingFixture f;
+  auto source = f.BuildView();
+  uint64_t max_key = 0;
+  source->ForEachNonZero(
+      [&](uint64_t key, double) { max_key = std::max(max_key, key); });
+  const KeyRouter router = KeyRouter::Uniform(max_key + 1, 4);
+  std::vector<std::unique_ptr<CoefficientStore>> shards;
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    shards.push_back(std::make_unique<HashStore>());
+  }
+  source->ForEachNonZero([&](uint64_t key, double value) {
+    shards[router.ShardOf(key)]->Add(key, value);
+  });
+  auto sharded = std::make_shared<ShardedStore>(std::move(shards), router);
+  GoldenAgainstIsolated(sharded, f, "sharded S=4 plane");
+}
+
+TEST(QueryServiceGolden, MatchesIsolatedSessionsVersioned) {
+  ServingFixture f;
+  auto versioned = std::make_shared<VersionedStore>(
+      f.strategy.BuildStore(f.rel.FrequencyDistribution()));
+  // Advance past the base epoch so sessions genuinely pin a snapshot.
+  Relation stream = MakeUniformRelation(f.schema, 40, 91);
+  for (const Tuple& t : stream.tuples()) {
+    versioned->Ingest(f.strategy.TransformUpdate(t, 1.0).value());
+  }
+  ASSERT_EQ(versioned->Publish(), 1u);
+  GoldenAgainstIsolated(versioned, f, "versioned plane at epoch 1");
+}
+
+/// The acceptance criterion: K=8 concurrent sessions over one FileStore.
+/// Every session's own io() stays the isolated cost, but the backend sees
+/// each coefficient once — per-session backend traffic drops by ~K (>= 2x
+/// required).
+TEST(QueryServiceSharing, BackendIoDropsAtLeastTwofoldOnFileStore) {
+  ServingFixture f;
+  auto view = f.BuildView();
+  std::vector<double> values(16 * 16, 0.0);
+  view->ForEachNonZero(
+      [&](uint64_t key, double value) { values[key] = value; });
+  const std::string path =
+      ::testing::TempDir() + "/wavebatch_query_service_store.bin";
+  auto file_store = FileStore::Create(path, values);
+  ASSERT_TRUE(file_store.ok()) << file_store.status();
+  std::shared_ptr<const CoefficientStore> store = std::move(file_store).value();
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kQuantum = 16;
+  QueryServiceOptions options;
+  options.max_live_sessions = kClients;
+  options.default_quantum = kQuantum;
+  QueryService service(store, f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(7));
+  request.penalty = f.sse;
+  std::vector<QueryRequest> requests(kClients, request);
+  std::vector<QueryResponse> responses = Serve(service, requests);
+
+  QueryResponse reference = Isolated(request, store, f.strategy, kQuantum);
+  const uint64_t isolated_cost = reference.io.retrievals;
+  ASSERT_GT(isolated_cost, 0u);
+  for (size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << responses[i].status;
+    ExpectBitIdentical(responses[i], reference,
+                       ("client " + std::to_string(i)).c_str());
+  }
+  // Backend keys fetched = shared-cache misses (each cold key reaches the
+  // file exactly once). Per-session backend cost must be at most half the
+  // isolated cost; with K identical batches it is ~isolated/K.
+  const uint64_t backend_keys = service.shared_misses();
+  EXPECT_LE(backend_keys, isolated_cost + kQuantum)
+      << "the union batch should cover every session's needs once";
+  EXPECT_LE(2 * (backend_keys / kClients), isolated_cost)
+      << "per-session backend I/O must drop >= 2x vs isolated";
+  EXPECT_GT(service.shared_hits(), 0u);
+}
+
+TEST(QueryServiceFaults, SkipPolicyMatchesIsolatedOverFaultyStore) {
+  ServingFixture f;
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      f.strategy.BuildStore(f.rel.FrequencyDistribution()));
+  // A permanent key fault is deterministic regardless of fetch interleaving
+  // — the right fault shape for a golden comparison.
+  auto probe_plan = EvalPlan::Build(f.MakeBatch(2), f.strategy, f.sse).value();
+  ASSERT_GT(probe_plan->size(), 0u);
+  const uint64_t bad_key = probe_plan->list().keys()[0];
+  faulty->FailKey(bad_key);
+
+  constexpr size_t kQuantum = 16;
+  QueryServiceOptions options;
+  options.default_quantum = kQuantum;
+  QueryService service(faulty, f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(2));
+  request.penalty = f.sse;
+  request.fault_policy = FaultPolicy::kSkip;
+  std::vector<QueryRequest> requests(4, request);
+  std::vector<QueryResponse> responses = Serve(service, requests);
+
+  QueryResponse reference = Isolated(request, faulty, f.strategy, kQuantum);
+  EXPECT_GE(reference.skipped_coefficients, 1u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << responses[i].status;
+    EXPECT_FALSE(responses[i].exact);
+    ExpectBitIdentical(responses[i], reference,
+                       ("client " + std::to_string(i)).c_str());
+  }
+}
+
+TEST(QueryServiceProgress, TargetBoundCompletesEarlyWithValidBound) {
+  ServingFixture f;
+  auto store = f.BuildView();
+  QueryServiceOptions options;
+  options.default_quantum = 4;
+  QueryService service(store, f.shared_strategy, options);
+
+  // A target midway between start and zero: reachable, but not at step 0.
+  auto plan = EvalPlan::Build(f.MakeBatch(1), f.strategy, f.sse).value();
+  EvalSession probe(plan, store);
+  const double start_bound = probe.WorstCaseBound(store->SumAbs());
+  ASSERT_GT(start_bound, 0.0);
+
+  QueryRequest request(f.MakeBatch(1));
+  request.penalty = f.sse;
+  request.target_bound = start_bound / 2;
+  std::vector<QueryResponse> responses = Serve(service, {request});
+
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status;
+  EXPECT_FALSE(responses[0].deadline_expired);
+  EXPECT_LE(responses[0].worst_case_bound, request.target_bound);
+  EXPECT_LT(responses[0].steps_taken, responses[0].total_steps)
+      << "the target bound should be reached before exactness";
+  EXPECT_GT(responses[0].steps_taken, 0u);
+}
+
+TEST(QueryServiceProgress, ExpiredDeadlineReturnsProgressiveAnswer) {
+  ServingFixture f;
+  QueryServiceOptions options;
+  options.default_quantum = 4;
+  QueryService service(f.BuildView(), f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(3));
+  request.penalty = f.sse;
+  request.deadline = std::chrono::microseconds(1);  // expired on admission
+  std::vector<QueryResponse> responses = Serve(service, {request});
+
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status;
+  EXPECT_TRUE(responses[0].deadline_expired);
+  EXPECT_FALSE(responses[0].exact);
+  EXPECT_LT(responses[0].steps_taken, responses[0].total_steps);
+  EXPECT_GT(responses[0].worst_case_bound, 0.0)
+      << "an approximate answer still carries its Theorem-1 bound";
+  EXPECT_EQ(responses[0].estimates.size(), 6u);
+}
+
+TEST(QueryServiceBackpressure, AdmissionQueueShedsBeyondDepth) {
+  ServingFixture f;
+  QueryServiceOptions options;
+  options.max_queue_depth = 2;
+  QueryService service(f.BuildView(), f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(0));
+  request.penalty = f.sse;
+  std::atomic<int> callbacks{0};
+  auto count = [&callbacks](QueryResponse) { callbacks.fetch_add(1); };
+  EXPECT_TRUE(service.Submit(request, count).ok());
+  EXPECT_TRUE(service.Submit(request, count).ok());
+  Status shed = service.Submit(request, count);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.sheds(), 1u);
+  EXPECT_EQ(service.queue_depth(), 2u);
+
+  service.RunUntilIdle();
+  EXPECT_EQ(callbacks.load(), 2) << "shed requests never get a callback";
+  EXPECT_EQ(service.completed(), 2u);
+}
+
+TEST(QueryServiceBackpressure, ThreadPoolGaugeShedsAdmissions) {
+  ServingFixture f;
+  QueryServiceOptions options;
+  options.pool_queue_shed_threshold = 0.5;
+  QueryService service(f.BuildView(), f.shared_strategy, options);
+
+  telemetry::Gauge* pool_depth =
+      telemetry::MetricsRegistry::Default().GetGauge(
+          "wavebatch_thread_pool_queue_depth");
+  pool_depth->Add(10.0);  // push over threshold
+  QueryRequest request(f.MakeBatch(0));
+  request.penalty = f.sse;
+  Status shed = service.Submit(request, [](QueryResponse) {});
+  pool_depth->Add(-10.0);  // restore
+
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_GE(service.sheds(), 1u);
+}
+
+TEST(QueryServiceLifecycle, DestructorFailsOutstandingRequests) {
+  ServingFixture f;
+  QueryResponse last;
+  int calls = 0;
+  {
+    QueryService service(f.BuildView(), f.shared_strategy);
+    QueryRequest request(f.MakeBatch(4));
+    request.penalty = f.sse;
+    ASSERT_TRUE(service
+                    .Submit(request,
+                            [&](QueryResponse r) {
+                              last = std::move(r);
+                              ++calls;
+                            })
+                    .ok());
+  }
+  EXPECT_EQ(calls, 1) << "every admitted request gets exactly one callback";
+  EXPECT_EQ(last.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServicePeek, UpcomingKeysMatchConsumptionOrder) {
+  ServingFixture f;
+  auto store = f.BuildView();
+  auto plan = EvalPlan::Build(f.MakeBatch(5), f.strategy, f.sse).value();
+  EvalSession session(plan, store);
+
+  std::vector<uint64_t> peeked;
+  const size_t n = std::min<size_t>(10, session.TotalSteps());
+  ASSERT_EQ(session.PeekUpcomingKeys(n, &peeked), n);
+  ASSERT_EQ(session.io().retrievals, 0u) << "peeking is uncounted";
+
+  for (size_t i = 0; i < n; ++i) {
+    Result<size_t> entry = session.Step();
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(plan->list().keys()[entry.value()], peeked[i]) << "step " << i;
+  }
+  // A later peek starts at the cursor, not the beginning.
+  std::vector<uint64_t> after;
+  if (session.PeekUpcomingKeys(1, &after) == 1) {
+    EXPECT_EQ(plan->list().keys()[plan->Permutation(
+                  ProgressionOrder::kBiggestB)[session.StepsTaken()]],
+              after[0]);
+  }
+}
+
+/// TSan stress: two workers serving, two client threads submitting, one
+/// writer ingesting and publishing epochs into the VersionedStore the
+/// service reads, with on_publish wired to RefreshEpoch — the full serving
+/// read-write surface under the race detector.
+TEST(QueryServiceConcurrency, ServesUnderEpochChurn) {
+  ServingFixture f;
+  QueryService* service_ptr = nullptr;
+  VersionedStoreOptions store_options;
+  store_options.on_publish = [&service_ptr](uint64_t) {
+    if (service_ptr != nullptr) service_ptr->RefreshEpoch();
+  };
+  auto versioned = std::make_shared<VersionedStore>(
+      f.strategy.BuildStore(f.rel.FrequencyDistribution()), store_options);
+
+  QueryServiceOptions options;
+  options.default_quantum = 8;
+  options.max_live_sessions = 8;
+  QueryService service(versioned, f.shared_strategy, options);
+  service_ptr = &service;
+  service.Start(2);
+
+  constexpr int kRequestsPerClient = 10;
+  std::mutex mu;
+  std::condition_variable cv;
+  int completed = 0;
+  int ok = 0;
+  auto on_done = [&](QueryResponse r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++completed;
+    if (r.status.ok()) ++ok;
+    cv.notify_all();
+  };
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    Relation stream = MakeUniformRelation(f.schema, 200, 5);
+    size_t i = 0;
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      versioned->Ingest(
+          f.strategy.TransformUpdate(stream.tuples()[i % 200], 1.0).value());
+      if (i % 4 == 3) versioned->Publish();
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  int admitted = 0;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        QueryRequest request(f.MakeBatch(static_cast<uint64_t>(c * 100 + i)));
+        request.penalty = f.sse;
+        while (!service.Submit(request, on_done).ok()) {
+          std::this_thread::yield();  // shed under load: retry
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  admitted = 2 * kRequestsPerClient;
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == admitted; });
+  }
+  stop_writer.store(true);
+  writer.join();
+  service.Stop();
+
+  EXPECT_EQ(ok, admitted) << "every admitted request completes cleanly";
+  EXPECT_GE(service.generation(), 1u);
+}
+
+TEST(SharedFetchStoreTest, ChargesFullCostWhileHittingCache) {
+  ServingFixture f;
+  auto view = f.BuildView();
+  auto cache = std::make_shared<SharedFetchCache>();
+  SharedFetchStore shared(view, cache);
+
+  std::vector<uint64_t> keys;
+  view->ForEachNonZero([&](uint64_t key, double) {
+    if (keys.size() < 32) keys.push_back(key);
+  });
+  ASSERT_FALSE(keys.empty());
+
+  // Prefetch warms the cache without touching any session's accounting.
+  ASSERT_TRUE(shared.Prefetch(keys).ok());
+  EXPECT_EQ(cache->size(), keys.size());
+
+  IoStats io;
+  std::vector<double> out(keys.size());
+  ASSERT_TRUE(shared.FetchBatch(keys, out, &io).ok());
+  EXPECT_EQ(io.retrievals, keys.size())
+      << "cache hits still cost one retrieval in the per-session model";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(out[i], view->Peek(keys[i]));
+  }
+  EXPECT_EQ(cache->hits(), keys.size());
+
+  // A second prefetch of the same keys is free (all warm).
+  const uint64_t misses_before = cache->misses();
+  ASSERT_TRUE(shared.Prefetch(keys).ok());
+  EXPECT_EQ(cache->misses(), misses_before);
+}
+
+}  // namespace
+}  // namespace wavebatch

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "telemetry/metrics.h"
 #include "util/bits.h"
 #include "util/parallel_sort.h"
 #include "util/random.h"
@@ -336,6 +337,55 @@ TEST(ThreadPoolTest, ParallelForInlineBoundaryIsExactlyGrain) {
   });
   const std::set<std::pair<size_t, size_t>> expected = {{0, 16}, {16, 17}};
   EXPECT_EQ(chunks, expected);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskLeavesGaugesBalancedAndWorkerAlive) {
+  // Regression: the queue-depth gauge pairs one increment per Submit with
+  // one decrement per dequeue. A task that threw used to take the worker
+  // down (uncaught exception on a thread), after which queued increments
+  // were never drained — the gauge read phantom load forever, and server
+  // backpressure keyed off it would shed traffic on an idle pool.
+  auto& registry = telemetry::MetricsRegistry::Default();
+  telemetry::Gauge* depth =
+      registry.GetGauge("wavebatch_thread_pool_queue_depth", {});
+  telemetry::Counter* exceptions =
+      registry.GetCounter("wavebatch_thread_pool_task_exceptions_total", {});
+  const double depth_before = depth->Value();
+  const uint64_t exceptions_before = exceptions->Value();
+
+  ThreadPool pool(1);
+  std::promise<void> done;
+  pool.Submit([] { throw std::runtime_error("injected task failure"); });
+  pool.Submit([] { throw 42; });  // non-std exceptions must not slip through
+  // The single worker can only reach this task by surviving both throws.
+  pool.Submit([&] { done.set_value(); });
+  done.get_future().wait();
+
+  EXPECT_EQ(exceptions->Value(), exceptions_before + 2);
+  EXPECT_DOUBLE_EQ(depth->Value(), depth_before);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsChunkExceptionOnCaller) {
+  // Every chunk must count as done even when fn throws — otherwise the
+  // caller deadlocks waiting for the lost chunk — and the first exception
+  // surfaces on the calling thread, never on a worker.
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100, /*grain=*/10,
+                       [&](size_t begin, size_t) {
+                         ran.fetch_add(1);
+                         if (begin == 30) throw std::runtime_error("chunk 30");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 10u);  // later chunks still ran
+
+  // The pool stays fully usable afterwards.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, 3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 100u * 99u / 2u);
 }
 
 TEST(ThreadPoolTest, ParallelForDefaultGrainOverload) {

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "data/generators.h"
 #include "engine/eval_plan.h"
 #include "engine/eval_session.h"
+#include "engine/plan_cache.h"
 #include "gtest/gtest.h"
 #include "penalty/sse.h"
 #include "storage/delta_store.h"
@@ -212,6 +214,64 @@ TEST(VersionedStoreTest, IngestsAreInvisibleUntilPublished) {
             base_value + f.deltas[0].entries().front().value);
   // The pre-publish pin is immune.
   EXPECT_EQ(pristine->Peek(key), base_value);
+}
+
+TEST(VersionedStoreTest, OnPublishFiresOnEveryPublishPath) {
+  // Every way an epoch can be published — explicit Publish(), the
+  // publish_every auto-publish, a synchronous Merge(), and a background
+  // merge — must fire the on_publish callback exactly once, in epoch
+  // order, off the writer lock.
+  StreamFixture f;
+  std::vector<uint64_t> published;
+  std::mutex mu;
+  VersionedStoreOptions options;
+  options.publish_every = 3;
+  options.on_publish = [&](uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu);
+    published.push_back(epoch);
+  };
+  VersionedStore store(f.BuildBase(), options);
+
+  EXPECT_EQ(store.Publish(), 1u);                          // explicit
+  for (int i = 0; i < 3; ++i) store.Ingest(f.deltas[i]);   // auto at the 3rd
+  store.Ingest(f.deltas[3]);
+  EXPECT_EQ(store.Merge(), 3u);                            // merge republish
+  store.Ingest(f.deltas[4]);
+  ASSERT_TRUE(store.StartBackgroundMerge());               // background merge
+  store.WaitForMerge();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(published, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(VersionedStoreTest, PublishCallbackKeepsPlanCacheBounded) {
+  // The dead-epoch leak this wiring fixes: every publish cycle used to
+  // strand the previous epoch's plan in the cache until LRU pressure
+  // happened to evict it. With on_publish → InvalidateStale, the cache is
+  // empty immediately after every publish/merge, no matter how many
+  // cycles run (asserted at size() == 0, which the GetOrBuild watermark
+  // alone cannot produce — only the callback drops the newest entry).
+  StreamFixture f;
+  PlanCache cache(64);
+  VersionedStoreOptions options;
+  options.on_publish = [&cache](uint64_t epoch) {
+    cache.InvalidateStale(epoch);
+  };
+  VersionedStore store(f.BuildBase(), options);
+
+  for (size_t cycle = 0; cycle < 30; ++cycle) {
+    ASSERT_TRUE(
+        cache.GetOrBuild(f.batch, f.strategy, f.sse, store.epoch()).ok());
+    EXPECT_EQ(cache.size(), 1u);
+    store.Ingest(f.deltas[cycle % f.deltas.size()]);
+    if (cycle % 5 == 4) {
+      store.Merge();
+    } else {
+      store.Publish();
+    }
+    EXPECT_EQ(cache.size(), 0u)
+        << "cycle " << cycle << ": superseded plan must be dropped";
+  }
 }
 
 TEST(VersionedStoreTest, PinnedEpochIsImmuneToLaterIngestsAndMerges) {

@@ -14,7 +14,9 @@
 // same box), in which case cpu_time joins the gated set with the same
 // threshold.
 //
-// Exit codes: 0 ok, 1 regression, 2 usage / malformed input.
+// Exit codes: 0 ok, 1 regression, 2 usage / malformed / debug-built input
+// (reports whose context says the project was compiled in debug are
+// rejected on either side — their numbers gate nothing meaningfully).
 
 #include <cctype>
 #include <cstdio>
@@ -236,6 +238,26 @@ struct BenchRun {
   std::map<std::string, double> counters;
 };
 
+/// The report's effective build type, lower-cased: the project-stamped
+/// "wavebatch_build_type" context key when present, else google-benchmark's
+/// stock "library_build_type" (which describes the benchmark *library*;
+/// only trustworthy when the library was built alongside the project).
+/// Empty when the report has no context section at all (tests and
+/// hand-rolled fixtures) — absence is not evidence of a debug build.
+std::string EffectiveBuildType(const JsonValue& root) {
+  const JsonValue* context = root.Find("context");
+  if (context == nullptr || context->kind != JsonValue::Kind::kObject) {
+    return "";
+  }
+  const JsonValue* type = context->Find("wavebatch_build_type");
+  if (type == nullptr) type = context->Find("library_build_type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString) return "";
+  std::string value = type->string;
+  for (char& c : value) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return value;
+}
+
 bool LoadReport(const std::string& path,
                 std::map<std::string, BenchRun>* out) {
   FILE* f = std::fopen(path.c_str(), "rb");
@@ -255,6 +277,21 @@ bool LoadReport(const std::string& path,
       root.kind != JsonValue::Kind::kObject) {
     std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
                  error.empty() ? "not a JSON object" : error.c_str());
+    return false;
+  }
+  // Debug-built numbers are not comparable to (or usable as) baselines:
+  // refuse them outright rather than letting the gate pass or fail on
+  // noise. This catches both sides — a debug baseline snuck into the repo
+  // and a debug candidate run in CI.
+  const std::string build_type = EffectiveBuildType(root);
+  if (build_type == "debug") {
+    std::fprintf(stderr,
+                 "bench_compare: %s was recorded from a debug build (context "
+                 "build type \"%s\"); debug timings/counters are not "
+                 "comparable. Regenerate the report from a Release build "
+                 "(cmake -DCMAKE_BUILD_TYPE=Release) so the JSON context "
+                 "carries wavebatch_build_type=\"release\".\n",
+                 path.c_str(), build_type.c_str());
     return false;
   }
   const JsonValue* benchmarks = root.Find("benchmarks");
