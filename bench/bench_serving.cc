@@ -18,12 +18,16 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
 #include "bench_common.h"
 #include "penalty/sse.h"
+#include "server/introspection.h"
 #include "server/query_service.h"
+#include "telemetry/export.h"
 #include "util/random.h"
 #include "util/table.h"
 
@@ -49,6 +53,9 @@ int Main(int argc, char** argv) {
               "  --max_live=N      concurrent sessions (default 8)\n"
               "  --quantum=N       coefficients per quantum (default 128)\n"
               "  --deadline_us=N   per-request deadline (default 0 = none)\n"
+              "  --trace_out=path  write the Chrome trace of the run\n"
+              "  --timeline_out=path  write per-request convergence "
+              "timelines (JSON)\n"
               "  --json=path       JSON report (default "
               "BENCH_serving.json)\n" +
                   kCommonFlagsHelp);
@@ -124,6 +131,8 @@ int Main(int argc, char** argv) {
   size_t deadline_expired = 0;
   uint64_t session_retrievals = 0;
   std::vector<uint64_t> latencies_us;
+  const std::string timeline_out = flags.Str("timeline_out", "");
+  std::vector<QueryService::TimelineRecord> timelines;
   auto on_done = [&](QueryResponse response) {
     std::lock_guard<std::mutex> lock(mu);
     ++completed;
@@ -132,6 +141,17 @@ int Main(int argc, char** argv) {
     session_retrievals += response.io.retrievals;
     latencies_us.push_back(
         static_cast<uint64_t>(std::max<int64_t>(0, response.latency.count())));
+    if (!timeline_out.empty() && !response.timeline.empty()) {
+      QueryService::TimelineRecord record;
+      record.request_id = response.request_id;
+      record.trace_id = response.trace_id;
+      record.generation = response.generation;
+      record.ok = response.status.ok();
+      record.exact = response.exact;
+      record.deadline_expired = response.deadline_expired;
+      record.points = std::move(response.timeline);
+      timelines.push_back(std::move(record));
+    }
     cv.notify_all();
   };
 
@@ -153,6 +173,40 @@ int Main(int argc, char** argv) {
   }
   service.Stop();
   const double wall_s = total.ElapsedSeconds();
+
+  // Request attribution: the fraction of backend fetch spans carrying a
+  // request id — with tracing on, every store_fetch_batch a quantum causes
+  // should attribute to the request whose quantum ran it.
+  uint64_t fetch_spans = 0;
+  uint64_t attributed_fetch_spans = 0;
+  for (const telemetry::SpanEvent& span :
+       telemetry::MetricsRegistry::Default().Spans()) {
+    if (std::string_view(span.name) != "store_fetch_batch") continue;
+    ++fetch_spans;
+    if (span.request_id != 0) ++attributed_fetch_spans;
+  }
+  const double attribution_pct =
+      fetch_spans == 0 ? 0.0
+                       : 100.0 * static_cast<double>(attributed_fetch_spans) /
+                             static_cast<double>(fetch_spans);
+
+  const std::string trace_out = flags.Str("trace_out", "");
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    out << telemetry::ExportChromeTrace();
+    if (!out) {
+      std::cerr << "failed to write " << trace_out << std::endl;
+      return 1;
+    }
+  }
+  if (!timeline_out.empty()) {
+    std::ofstream out(timeline_out, std::ios::binary);
+    out << server::TimelinesJson(timelines);
+    if (!out) {
+      std::cerr << "failed to write " << timeline_out << std::endl;
+      return 1;
+    }
+  }
 
   std::sort(latencies_us.begin(), latencies_us.end());
   auto pct = [&](double p) -> uint64_t {
@@ -186,6 +240,10 @@ int Main(int argc, char** argv) {
                 "shared-cache misses / completed"});
   table.AddRow({"warm_fetches", std::to_string(warm_keys),
                 "retrievals served from the shared cache"});
+  table.AddRow({"fetch_attribution_pct", FormatDouble(attribution_pct, 4),
+                std::to_string(attributed_fetch_spans) + "/" +
+                    std::to_string(fetch_spans) +
+                    " backend fetch spans carry a request id"});
   std::cout << "\nServing under open-loop load\n";
   table.Print(std::cout);
   std::cout << "elapsed: " << FormatDouble(wall_s, 3) << "s\n";
@@ -217,6 +275,8 @@ int Main(int argc, char** argv) {
   add("session_io", session_retrievals);
   add("backend_io", backend_keys);
   add("warm_fetches", warm_keys);
+  add("fetch_spans", fetch_spans);
+  add("attributed_fetch_spans", attributed_fetch_spans);
   if (!json.Write(flags.Str("json", "BENCH_serving.json"))) {
     std::cerr << "failed to write json report" << std::endl;
     return 1;

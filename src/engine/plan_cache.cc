@@ -1,5 +1,6 @@
 #include "engine/plan_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "telemetry/metrics.h"
@@ -177,6 +178,28 @@ uint64_t PlanCache::evictions() const {
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::vector<PlanCache::EntryInfo> PlanCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    EntryInfo info;
+    static const char* kHex = "0123456789abcdef";
+    const size_t prefix = std::min<size_t>(8, entry.key.size());
+    info.fingerprint_prefix.reserve(prefix * 2);
+    for (size_t i = 0; i < prefix; ++i) {
+      const unsigned char byte = static_cast<unsigned char>(entry.key[i]);
+      info.fingerprint_prefix += kHex[byte >> 4];
+      info.fingerprint_prefix += kHex[byte & 0xf];
+    }
+    info.data_epoch = entry.data_epoch;
+    info.plan_entries = entry.plan->size();
+    info.num_queries = entry.plan->num_queries();
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void PlanCache::Clear() {

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/eval_plan.h"
 
@@ -73,6 +74,18 @@ class PlanCache {
   uint64_t evictions() const;
   size_t size() const;
   void Clear();
+
+  /// One cached plan, for live introspection (/statusz): the fingerprint
+  /// prefix identifies the entry (the full key is binary and long),
+  /// plan_entries is the master-list size the plan would evaluate.
+  struct EntryInfo {
+    std::string fingerprint_prefix;  // first 8 key bytes, lowercase hex
+    uint64_t data_epoch = 0;
+    size_t plan_entries = 0;
+    size_t num_queries = 0;
+  };
+  /// Snapshot of the cached entries, most recently used first.
+  std::vector<EntryInfo> Entries() const;
 
   /// Process-wide cache for callers without their own.
   static PlanCache& Shared();

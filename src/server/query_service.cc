@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <utility>
 
+#include "storage/versioned_store.h"
+#include "telemetry/span.h"
 #include "util/check.h"
 #include "util/fingerprint.h"
 
@@ -87,6 +90,47 @@ QueryService::~QueryService() {
 void QueryService::RepinLocked() {
   std::shared_ptr<const CoefficientStore> pinned = root_store_->PinVersion();
   pinned_ = pinned != nullptr ? std::move(pinned) : root_store_;
+  // Versioned planes pin SnapshotStores, which carry their published epoch;
+  // static stores read as epoch 0. Spans and /statusz report this so a
+  // trace shows which data version served each request.
+  const auto* snapshot = dynamic_cast<const SnapshotStore*>(pinned_.get());
+  pinned_epoch_ = snapshot != nullptr ? snapshot->epoch() : 0;
+}
+
+uint64_t QueryService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_epoch_;
+}
+
+std::vector<QueryService::GroupStatus> QueryService::GroupStatuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GroupStatus> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, group] : groups_) {
+    GroupStatus status;
+    status.generation = group->generation;
+    status.epoch = group->epoch;
+    status.members = group->members;
+    status.cache_entries = group->cache->size();
+    status.cache_hits = group->cache->hits();
+    status.cache_misses = group->cache->misses();
+    status.k_sum_abs = group->k_sum_abs;
+    out.push_back(status);
+  }
+  // groups_ is a hash map; give callers a stable order.
+  std::sort(out.begin(), out.end(),
+            [](const GroupStatus& a, const GroupStatus& b) {
+              return a.generation != b.generation
+                         ? a.generation < b.generation
+                         : a.members > b.members;
+            });
+  return out;
+}
+
+std::vector<QueryService::TimelineRecord> QueryService::RecentTimelines()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_timelines_.begin(), recent_timelines_.end()};
 }
 
 void QueryService::RefreshEpoch() {
@@ -137,6 +181,14 @@ uint64_t QueryService::shared_misses() const {
 Status QueryService::Submit(QueryRequest request, ResponseCallback done) {
   WB_CHECK(done != nullptr);
   requests_->Add();
+  // Mint the trace identity before taking the lock: NewTraceId() is one
+  // relaxed atomic increment, and shed requests simply never use theirs.
+  telemetry::TraceContext trace;
+  if (telemetry::Enabled()) {
+    trace.trace_id = telemetry::NewTraceId();
+    trace.request_id = trace.trace_id;
+  }
+  size_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pending_.size() >= options_.max_queue_depth) {
@@ -158,8 +210,20 @@ Status QueryService::Submit(QueryRequest request, ResponseCallback done) {
       }
     }
     pending_.push_back(Pending{std::move(request), std::move(done),
-                               std::chrono::steady_clock::now()});
-    queue_depth_gauge_->Set(static_cast<double>(pending_.size()));
+                               std::chrono::steady_clock::now(), trace});
+    depth_after = pending_.size();
+    queue_depth_gauge_->Set(static_cast<double>(depth_after));
+  }
+  if (trace.active()) {
+    // The trace's root marker: a zero-duration span stamped with the fresh
+    // ids, so /tracez shows when the request entered the queue and how deep
+    // the queue was. Recorded outside mu_ (span_mu_ must never nest inside
+    // the service lock's critical sections on the hot path).
+    telemetry::ScopedTraceContext guard(trace);
+    const auto now = std::chrono::steady_clock::now();
+    telemetry::MetricsRegistry::Default().RecordSpan(
+        "request_submit", now, now,
+        {telemetry::SpanAttr{"queue_depth", static_cast<double>(depth_after)}});
   }
   cv_.notify_one();
   return Status::OK();
@@ -194,6 +258,8 @@ std::shared_ptr<QueryService::Group> QueryService::GetGroupLocked(
   group->cache = std::make_shared<SharedFetchCache>();
   group->store = std::make_shared<SharedFetchStore>(pinned_, group->cache);
   group->k_sum_abs = pinned_->SumAbs();
+  group->generation = generation_;
+  group->epoch = pinned_epoch_;
   groups_[std::move(key)] = group;
   return group;
 }
@@ -215,15 +281,25 @@ void QueryService::AdmitLocked(std::vector<std::function<void()>>* finished) {
     active->quantum = active->request.quantum > 0 ? active->request.quantum
                                                   : options_.default_quantum;
     active->generation = generation_;
+    active->trace = pending.trace;
+    active->timeline =
+        telemetry::ConvergenceTimeline(options_.timeline_capacity);
 
     // Plans are store-free (a transform of the queries alone), so they are
-    // cached at epoch 0 and shared across generations.
+    // cached at epoch 0 and shared across generations. The lookup (and any
+    // build it triggers) runs under the request's trace so plan_build /
+    // plan_cache_lookup spans attribute to it.
+    std::optional<telemetry::ScopedTraceContext> trace_guard;
+    if (active->trace.active()) trace_guard.emplace(active->trace);
     Result<std::shared_ptr<const EvalPlan>> plan = plan_cache_->GetOrBuild(
         active->request.batch, *strategy_, active->request.penalty,
         /*data_epoch=*/0);
+    trace_guard.reset();
     if (!plan.ok()) {
       QueryResponse response;
       response.status = plan.status();
+      response.request_id = active->trace.request_id;
+      response.trace_id = active->trace.trace_id;
       response.generation = generation_;
       response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
           now - active->admitted_at);
@@ -293,26 +369,86 @@ QueryService::Active* QueryService::PickLocked(
   return best;
 }
 
-void QueryService::GatherGroupKeysLocked(const Active& active,
-                                         std::vector<uint64_t>* out) {
+void QueryService::GatherGroupKeysLocked(
+    const Active& active, std::vector<uint64_t>* out,
+    std::vector<telemetry::TraceContext>* siblings) {
   out->clear();
+  if (siblings != nullptr) siblings->clear();
   active.session->PeekUpcomingKeys(active.quantum, out);
   for (const auto& other : live_) {
     if (other.get() == &active || other->group != active.group) continue;
     // Busy siblings are mid-quantum on another worker; their cursor is
     // theirs alone until they put it down.
     if (other->busy || other->failed) continue;
-    other->session->PeekUpcomingKeys(other->quantum, out);
+    const size_t appended =
+        other->session->PeekUpcomingKeys(other->quantum, out);
+    // Merged-batch attribution: remember whose keys rode along so the
+    // quantum can mark those requests' traces as advanced by this fetch.
+    if (siblings != nullptr && appended > 0 && other->trace.active()) {
+      siblings->push_back(other->trace);
+    }
   }
 }
 
-void QueryService::StepQuantum(Active& active, std::vector<uint64_t>* keys) {
+void QueryService::SampleTimeline(Active& active, bool force) const {
+  telemetry::TimelinePoint point;
+  point.steps = active.session->StepsTaken();
+  point.retrievals = active.session->io().retrievals;
+  const std::vector<double>& estimates = active.session->Estimates();
+  point.estimate = estimates.empty() ? 0.0 : estimates[0];
+  if (active.session->plan().HasImportance()) {
+    point.bound = active.session->WorstCaseBound(active.group->k_sum_abs);
+  }
+  point.skipped_importance = active.session->SkippedImportance();
+  point.elapsed_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - active.admitted_at)
+          .count();
+  if (force) {
+    active.timeline.ForceSample(point);
+  } else {
+    active.timeline.Sample(point);
+  }
+}
+
+void QueryService::StepQuantum(Active& active, std::vector<uint64_t>* keys,
+                               std::vector<telemetry::TraceContext>* siblings) {
+  // The whole quantum — the merged prefetch and this session's StepBatch —
+  // runs under the request's TraceContext, so every backend span it causes
+  // (store_fetch_batch, shard_subbatch) attributes to this request.
+  const bool traced = active.trace.active() && telemetry::Enabled();
+  std::optional<telemetry::ScopedTraceContext> trace_guard;
+  std::optional<telemetry::ScopedSpan> quantum_span;
+  if (traced) {
+    trace_guard.emplace(active.trace);
+    quantum_span.emplace("request_quantum");
+    quantum_span->AddAttr("union_keys", static_cast<double>(keys->size()));
+    quantum_span->AddAttr("siblings",
+                          static_cast<double>(siblings->size()));
+    quantum_span->AddAttr("generation",
+                          static_cast<double>(active.generation));
+    quantum_span->AddAttr("epoch", static_cast<double>(active.group->epoch));
+  }
   // The cross-session fetch: the union of the group's upcoming needs goes
   // to the backend as one batch (cold keys only — the cache drops warm and
   // duplicate keys), then this session's own StepBatch runs warm. Prefetch
   // is best-effort; a faulty batch is retried per key inside and whatever
   // stays unavailable surfaces through the session's own FaultPolicy.
   (void)active.group->store->Prefetch(*keys);
+  if (traced && !siblings->empty()) {
+    // Sibling attribution: the merged batch warmed these requests' upcoming
+    // keys too. A zero-duration marker in each sibling's trace names the
+    // request whose quantum paid for the fetch, so a trace shows both sides
+    // of every cross-session share.
+    const auto now = std::chrono::steady_clock::now();
+    const double by_request = static_cast<double>(active.trace.request_id);
+    for (const telemetry::TraceContext& sibling : *siblings) {
+      telemetry::ScopedTraceContext sibling_guard(sibling);
+      telemetry::MetricsRegistry::Default().RecordSpan(
+          "shared_prefetch_advance", now, now,
+          {telemetry::SpanAttr{"by_request", by_request}});
+    }
+  }
   Result<size_t> stepped = active.session->StepBatch(active.quantum);
   if (!stepped.ok()) {
     // kFail: the session is untouched and resumable, but the serving
@@ -321,6 +457,7 @@ void QueryService::StepQuantum(Active& active, std::vector<uint64_t>* keys) {
     active.failure = stepped.status();
     active.failed = true;
   }
+  if (traced) SampleTimeline(active, /*force=*/false);
 }
 
 std::function<void()> QueryService::FinalizeLocked(
@@ -329,6 +466,12 @@ std::function<void()> QueryService::FinalizeLocked(
   std::unique_ptr<Active> active = std::move(live_[live_index]);
   live_.erase(live_.begin() + static_cast<ptrdiff_t>(live_index));
   live_sessions_gauge_->Set(static_cast<double>(live_.size()));
+
+  // Close the convergence record with the request's final state — the
+  // curve's last point is the answer actually returned.
+  if (active->trace.active() && telemetry::Enabled()) {
+    SampleTimeline(*active, /*force=*/true);
+  }
 
   QueryResponse response;
   response.status = std::move(status);
@@ -347,6 +490,24 @@ std::function<void()> QueryService::FinalizeLocked(
   }
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       now - active->admitted_at);
+  response.request_id = active->trace.request_id;
+  response.trace_id = active->trace.trace_id;
+
+  if (!active->timeline.empty()) {
+    TimelineRecord record;
+    record.request_id = active->trace.request_id;
+    record.trace_id = active->trace.trace_id;
+    record.generation = active->generation;
+    record.ok = response.status.ok();
+    record.exact = response.exact;
+    record.deadline_expired = deadline_expired;
+    record.points = active->timeline.TakePoints();
+    response.timeline = record.points;
+    recent_timelines_.push_back(std::move(record));
+    while (recent_timelines_.size() > options_.recent_timelines) {
+      recent_timelines_.pop_front();
+    }
+  }
 
   latency_us_->Observe(
       static_cast<uint64_t>(std::max<int64_t>(0, response.latency.count())));
@@ -371,6 +532,7 @@ std::function<void()> QueryService::FinalizeLocked(
 
 void QueryService::RunUntilIdle() {
   std::vector<uint64_t> key_scratch;
+  std::vector<telemetry::TraceContext> sibling_scratch;
   for (;;) {
     std::vector<std::function<void()>> callbacks;
     Active* picked = nullptr;
@@ -396,7 +558,7 @@ void QueryService::RunUntilIdle() {
       picked = PickLocked(now);
       if (picked != nullptr) {
         picked->busy = true;
-        GatherGroupKeysLocked(*picked, &key_scratch);
+        GatherGroupKeysLocked(*picked, &key_scratch, &sibling_scratch);
       }
     }
     for (auto& cb : callbacks) cb();
@@ -411,7 +573,7 @@ void QueryService::RunUntilIdle() {
       cv_.wait_for(lock, std::chrono::milliseconds(1));
       continue;
     }
-    StepQuantum(*picked, &key_scratch);
+    StepQuantum(*picked, &key_scratch, &sibling_scratch);
     {
       std::lock_guard<std::mutex> lock(mu_);
       picked->busy = false;
@@ -422,6 +584,7 @@ void QueryService::RunUntilIdle() {
 
 void QueryService::WorkerLoop() {
   std::vector<uint64_t> key_scratch;
+  std::vector<telemetry::TraceContext> sibling_scratch;
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
     std::vector<std::function<void()>> callbacks;
@@ -454,11 +617,13 @@ void QueryService::WorkerLoop() {
     }
     if (picked != nullptr) {
       picked->busy = true;
-      GatherGroupKeysLocked(*picked, &key_scratch);
+      GatherGroupKeysLocked(*picked, &key_scratch, &sibling_scratch);
     }
     lock.unlock();
     for (auto& cb : callbacks) cb();
-    if (picked != nullptr) StepQuantum(*picked, &key_scratch);
+    if (picked != nullptr) {
+      StepQuantum(*picked, &key_scratch, &sibling_scratch);
+    }
     lock.lock();
     if (picked != nullptr) picked->busy = false;
     cv_.notify_all();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -19,6 +20,8 @@
 #include "storage/coefficient_store.h"
 #include "strategy/linear_strategy.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace wavebatch::server {
@@ -62,6 +65,16 @@ struct QueryResponse {
   uint64_t generation = 0;
   /// Admission-to-completion wall time.
   std::chrono::microseconds latency{0};
+  /// Trace identity minted at Submit (0 when the request was never
+  /// admitted). Every span the service recorded for this request carries
+  /// these ids; /tracez groups by trace_id.
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+  /// Bound-convergence timeline: one point per scheduler quantum (stride-
+  /// decimated, see telemetry::ConvergenceTimeline) plus a final point at
+  /// completion — the request's error-vs-I/O curve. Empty when telemetry
+  /// was disabled throughout.
+  std::vector<telemetry::TimelinePoint> timeline;
 };
 
 /// Invoked exactly once per admitted request, outside the service lock (it
@@ -85,6 +98,11 @@ struct QueryServiceOptions {
   /// Plan cache to use; null = a private cache of this capacity.
   std::shared_ptr<PlanCache> plan_cache;
   size_t plan_cache_capacity = 64;
+  /// Per-request convergence-timeline ring capacity (points retained after
+  /// stride decimation).
+  size_t timeline_capacity = 256;
+  /// Completed-request timelines retained for /tracez (FIFO, bounded).
+  size_t recent_timelines = 64;
 };
 
 /// The serving front end: accepts query batches from many clients into an
@@ -161,6 +179,37 @@ class QueryService {
   uint64_t shared_hits() const;
   uint64_t shared_misses() const;
 
+  /// Pinned epoch of the current snapshot (SnapshotStore::epoch(); 0 when
+  /// the store is not versioned).
+  uint64_t epoch() const;
+  const PlanCache& plan_cache() const { return *plan_cache_; }
+
+  /// One live session group, for /statusz.
+  struct GroupStatus {
+    uint64_t generation = 0;
+    uint64_t epoch = 0;
+    size_t members = 0;
+    size_t cache_entries = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    double k_sum_abs = 0.0;
+  };
+  std::vector<GroupStatus> GroupStatuses() const;
+
+  /// A completed request's bound-convergence record, for /tracez.
+  struct TimelineRecord {
+    uint64_t request_id = 0;
+    uint64_t trace_id = 0;
+    uint64_t generation = 0;
+    bool ok = false;
+    bool exact = false;
+    bool deadline_expired = false;
+    std::vector<telemetry::TimelinePoint> points;
+  };
+  /// The most recent completed-request timelines (FIFO, bounded by
+  /// QueryServiceOptions::recent_timelines), oldest first.
+  std::vector<TimelineRecord> RecentTimelines() const;
+
  private:
   struct Group {
     std::string key;
@@ -169,12 +218,15 @@ class QueryService {
     /// Theorem 1's K = SumAbs of the pinned snapshot, computed once.
     double k_sum_abs = 0.0;
     size_t members = 0;
+    uint64_t generation = 0;
+    uint64_t epoch = 0;  // pinned SnapshotStore epoch, 0 if unversioned
   };
 
   struct Pending {
     QueryRequest request;
     ResponseCallback done;
     std::chrono::steady_clock::time_point admitted_at;
+    telemetry::TraceContext trace;  // minted at Submit when telemetry is on
   };
 
   struct Active {
@@ -192,6 +244,8 @@ class QueryService {
     bool busy = false;      // a worker owns this session's next quantum
     Status failure;         // sticky non-OK fetch status under kFail
     bool failed = false;
+    telemetry::TraceContext trace;
+    telemetry::ConvergenceTimeline timeline;
   };
 
   void WorkerLoop();
@@ -203,11 +257,22 @@ class QueryService {
   /// marginal bound reduction). Null when none is runnable. Must hold mu_.
   Active* PickLocked(std::chrono::steady_clock::time_point now);
   /// Runs one quantum for `active` WITHOUT the lock: group prefetch of the
-  /// unioned upcoming keys, then one StepBatch.
-  void StepQuantum(Active& active, std::vector<uint64_t>* scratch);
+  /// unioned upcoming keys, then one StepBatch. When the request is traced,
+  /// the whole quantum runs under its TraceContext (so backend fetch spans
+  /// attribute to it), records a "request_quantum" span, marks which
+  /// sibling requests the merged prefetch advanced, and samples the
+  /// convergence timeline.
+  void StepQuantum(Active& active, std::vector<uint64_t>* scratch,
+                   std::vector<telemetry::TraceContext>* siblings);
   /// Union of upcoming keys across the group's live sessions. Must hold
-  /// mu_ (reads sibling sessions' cursors; they are not busy).
-  void GatherGroupKeysLocked(const Active& active, std::vector<uint64_t>* out);
+  /// mu_ (reads sibling sessions' cursors; they are not busy). When
+  /// telemetry is enabled, appends the TraceContext of every sibling that
+  /// contributed keys to *siblings (merged-batch attribution).
+  void GatherGroupKeysLocked(const Active& active, std::vector<uint64_t>* out,
+                             std::vector<telemetry::TraceContext>* siblings);
+  /// Appends one convergence-timeline point from the session's current
+  /// progress. `force` bypasses stride decimation (completion point).
+  void SampleTimeline(Active& active, bool force) const;
   /// True when the request is complete (exact, bound met, deadline, fault).
   bool IsFinishedLocked(const Active& active,
                         std::chrono::steady_clock::time_point now) const;
@@ -234,6 +299,8 @@ class QueryService {
   std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
   std::shared_ptr<const CoefficientStore> pinned_;  // current epoch snapshot
   uint64_t generation_ = 1;
+  uint64_t pinned_epoch_ = 0;  // SnapshotStore::epoch() of pinned_, else 0
+  std::deque<TimelineRecord> recent_timelines_;
   uint64_t retired_hits_ = 0;
   uint64_t retired_misses_ = 0;
   uint64_t local_sheds_ = 0;

@@ -291,8 +291,12 @@ class CoefficientStore {
     m.batch_latency_ns->Observe(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
             .count()));
-    telemetry::MetricsRegistry::Default().RecordSpan("store_fetch_batch",
-                                                     begin, end);
+    // The span inherits the thread's installed TraceContext, so a fetch
+    // issued while serving a request quantum is attributable to that
+    // request without any plumbing through the store API.
+    telemetry::MetricsRegistry::Default().RecordSpan(
+        "store_fetch_batch", begin, end,
+        {telemetry::SpanAttr{"keys", static_cast<double>(n)}});
     if (status.ok()) {
       if (io != nullptr) io->retrievals += n;
       m.keys_fetched->Add(n);

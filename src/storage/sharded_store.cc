@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <utility>
 
+#include "telemetry/span.h"
 #include "util/check.h"
 
 namespace wavebatch {
@@ -225,6 +226,12 @@ Status ShardedStore::FetchScatterGather(std::span<const uint64_t> keys,
   // affinity — one device queue per shard). Each task writes only its own
   // SubBatch slot; the latch below is the only cross-task synchronization.
   const auto run_sub = [&](size_t s) {
+    // One span per shard leg. On a pool worker the submitter's TraceContext
+    // is installed around the task (ThreadPool::Submit captures it), so the
+    // leg parents under the serving request's fetch span across threads.
+    telemetry::ScopedSpan span("shard_subbatch");
+    span.AddAttr("shard", static_cast<double>(s));
+    span.AddAttr("keys", static_cast<double>(subs[s].keys.size()));
     subs[s].status = DelegateFetchBatch(*shards_[s], subs[s].keys,
                                         subs[s].values, &subs[s].io);
   };

@@ -285,8 +285,11 @@ void VersionedStore::FoldAndSwap(
   {
     std::lock_guard<std::mutex> lock(write_mu_);
     merge_in_flight_ = false;
+    // Notify under the lock: a WaitForMerge caller (the destructor) may
+    // otherwise observe the cleared flag and destroy merge_cv_ while this
+    // thread is still inside notify_all.
+    merge_cv_.notify_all();
   }
-  merge_cv_.notify_all();
 }
 
 void VersionedStore::WaitForMerge() {

@@ -1,5 +1,6 @@
 #include "telemetry/export.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
@@ -9,6 +10,7 @@
 #include <map>
 #include <set>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace wavebatch::telemetry {
@@ -163,12 +165,52 @@ std::string ExportChromeTrace(const MetricsRegistry& registry) {
       "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
       "\"args\":{\"name\":\"wavebatch\"}}";
-  char buf[256];
+  // span_id -> buffer index, for resolving cross-thread parent links.
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].span_id != 0) by_id.emplace(spans[i].span_id, i);
+  }
+  char buf[512];
   for (const SpanEvent& s : spans) {
     std::snprintf(buf, sizeof(buf),
                   ",\n{\"name\":\"%s\",\"cat\":\"wavebatch\",\"ph\":\"X\","
-                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
-                  s.name, s.tid, s.ts_us, s.dur_us);
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{"
+                  "\"span_id\":%" PRIu64 ",\"parent_span_id\":%" PRIu64
+                  ",\"trace_id\":%" PRIu64 ",\"request_id\":%" PRIu64,
+                  s.name, s.tid, s.ts_us, s.dur_us, s.span_id,
+                  s.parent_span_id, s.trace_id, s.request_id);
+    out += buf;
+    for (uint32_t a = 0; a < s.num_attrs; ++a) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%.17g", s.attrs[a].key,
+                    s.attrs[a].value);
+      out += buf;
+    }
+    out += "}}";
+  }
+  // Flow events render each cross-thread parent link as an arrow from the
+  // parent span's lane to the child's, connecting one request's work into a
+  // single visible lane across workers. A pair shares one id (the child's
+  // span id); "s" starts inside the parent slice, "f" binds to the start of
+  // the child slice ("bp":"e" = bind to enclosing).
+  for (const SpanEvent& s : spans) {
+    if (s.parent_span_id == 0) continue;
+    const auto it = by_id.find(s.parent_span_id);
+    if (it == by_id.end()) continue;
+    const SpanEvent& parent = spans[it->second];
+    if (parent.tid == s.tid) continue;  // same-thread nesting needs no arrow
+    // Clamp the arrow's start into the parent slice so viewers accept it
+    // even when the child outlived a fire-and-forget submitter.
+    const double ts_start =
+        std::min(std::max(s.ts_us, parent.ts_us), parent.ts_us + parent.dur_us);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"handoff\",\"cat\":\"wavebatch\","
+                  "\"ph\":\"s\",\"id\":%" PRIu64
+                  ",\"pid\":1,\"tid\":%u,\"ts\":%.3f},\n"
+                  "{\"name\":\"handoff\",\"cat\":\"wavebatch\",\"ph\":\"f\","
+                  "\"bp\":\"e\",\"id\":%" PRIu64
+                  ",\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+                  s.span_id, parent.tid, ts_start, s.span_id, s.tid, s.ts_us);
     out += buf;
   }
   out += "\n]}\n";

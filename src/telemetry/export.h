@@ -20,7 +20,11 @@ std::string ExportPrometheus(
 /// Renders the span buffer as a Chrome trace-event JSON document (the
 /// `chrome://tracing` / Perfetto "traceEvents" format): one complete ("X")
 /// event per span with microsecond timestamps, grouped by the recording
-/// thread. Load the output via chrome://tracing "Load" or ui.perfetto.dev.
+/// thread, carrying span/trace/request ids and the span's structured
+/// attributes in "args". Cross-thread parent links (ThreadPool hand-offs)
+/// additionally emit flow-event pairs ("s"/"f"), so one request renders as
+/// a connected lane across worker threads. Load the output via
+/// chrome://tracing "Load" or ui.perfetto.dev.
 std::string ExportChromeTrace(
     const MetricsRegistry& registry = MetricsRegistry::Default());
 

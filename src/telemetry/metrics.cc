@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
 #include "util/check.h"
 
 namespace wavebatch::telemetry {
@@ -132,7 +133,18 @@ void MetricsRegistry::ResetValues() {
 
 void MetricsRegistry::RecordSpan(const char* name,
                                  std::chrono::steady_clock::time_point begin,
-                                 std::chrono::steady_clock::time_point end) {
+                                 std::chrono::steady_clock::time_point end,
+                                 std::initializer_list<SpanAttr> attrs) {
+  if (!Enabled()) return;
+  RecordSpanWithIds(name, begin, end, NewSpanId(),
+                    internal::t_trace.current_span_id, attrs.begin(),
+                    static_cast<uint32_t>(attrs.size()));
+}
+
+void MetricsRegistry::RecordSpanWithIds(
+    const char* name, std::chrono::steady_clock::time_point begin,
+    std::chrono::steady_clock::time_point end, uint64_t span_id,
+    uint64_t parent_span_id, const SpanAttr* attrs, uint32_t num_attrs) {
   if (!Enabled()) return;
   SpanEvent event;
   event.name = name;
@@ -141,9 +153,26 @@ void MetricsRegistry::RecordSpan(const char* name,
                     .count();
   event.dur_us = std::chrono::duration<double, std::micro>(end - begin)
                      .count();
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
+  event.trace_id = internal::t_trace.trace_id;
+  event.request_id = internal::t_trace.request_id;
+  event.num_attrs = std::min(num_attrs, SpanEvent::kMaxAttrs);
+  for (uint32_t i = 0; i < event.num_attrs; ++i) event.attrs[i] = attrs[i];
+  // Bind the overflow counter BEFORE span_mu_: GetCounter takes mu_, and
+  // the registry's lock order is mu_ -> span_mu_, never the reverse.
+  Counter* dropped_counter =
+      dropped_spans_counter_.load(std::memory_order_acquire);
+  if (dropped_counter == nullptr) {
+    dropped_counter = GetCounter(
+        "wavebatch_telemetry_dropped_spans_total", {},
+        "Spans dropped because the bounded span buffer was full.");
+    dropped_spans_counter_.store(dropped_counter, std::memory_order_release);
+  }
   std::lock_guard<std::mutex> lock(span_mu_);
   if (spans_.size() >= span_capacity_) {
     dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter->Add();
     return;
   }
   // First push reserves a bounded chunk so the hot path never eats a large

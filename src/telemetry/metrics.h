@@ -5,6 +5,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -134,14 +135,33 @@ struct MetricSnapshot {
   uint64_t hist_count = 0;
 };
 
+/// One structured span attribute: a static-storage key and a numeric value
+/// (key counts, shard ids, epochs, bound values — everything the span sites
+/// attach is a number, which keeps SpanEvent POD and the record path free
+/// of allocation).
+struct SpanAttr {
+  const char* key;  // static-storage string supplied by the caller
+  double value;
+};
+
 /// One completed evaluation span. Spans on the same thread nest by
-/// containment of [ts_us, ts_us + dur_us); the Chrome trace viewer renders
-/// that nesting directly.
+/// containment of [ts_us, ts_us + dur_us); across threads, parent_span_id
+/// carries the explicit link (captured at the ThreadPool hand-off), which
+/// the Chrome exporter renders as flow arrows. trace_id/request_id are the
+/// request attribution stamped from the thread's installed TraceContext
+/// (0 = recorded outside any request).
 struct SpanEvent {
   const char* name;  // static-storage string supplied by the caller
   uint32_t tid;      // small per-thread ordinal, stable for a thread's life
   double ts_us;      // microseconds since the process telemetry epoch
   double dur_us;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  static constexpr uint32_t kMaxAttrs = 4;
+  SpanAttr attrs[kMaxAttrs] = {};
+  uint32_t num_attrs = 0;
 };
 
 /// Process-wide metric and span store. Registration (GetCounter/GetGauge/
@@ -191,10 +211,25 @@ class MetricsRegistry {
   void ResetValues();
 
   /// Records a completed span. `name` must have static storage duration
-  /// (instrumentation sites pass string literals). Thread-safe; when the
-  /// buffer is full the span is dropped and counted instead.
+  /// (instrumentation sites pass string literals); the same goes for every
+  /// attr key. A fresh span id is allocated and the span is parented under
+  /// the thread's innermost live span (and stamped with the installed
+  /// TraceContext's trace/request ids). Thread-safe; when the buffer is
+  /// full the span is dropped and counted instead (accessor AND the
+  /// wavebatch_telemetry_dropped_spans_total counter).
   void RecordSpan(const char* name, std::chrono::steady_clock::time_point begin,
-                  std::chrono::steady_clock::time_point end);
+                  std::chrono::steady_clock::time_point end,
+                  std::initializer_list<SpanAttr> attrs = {});
+
+  /// RecordSpan for callers that allocated their span id up front
+  /// (ScopedSpan does, so nested spans can parent under it while it is
+  /// still open). trace/request ids still come from the thread's installed
+  /// context. Attrs beyond SpanEvent::kMaxAttrs are dropped silently.
+  void RecordSpanWithIds(const char* name,
+                         std::chrono::steady_clock::time_point begin,
+                         std::chrono::steady_clock::time_point end,
+                         uint64_t span_id, uint64_t parent_span_id,
+                         const SpanAttr* attrs, uint32_t num_attrs);
 
   /// Snapshot of the span buffer (oldest first).
   std::vector<SpanEvent> Spans() const;
@@ -225,6 +260,9 @@ class MetricsRegistry {
   std::vector<SpanEvent> spans_;
   size_t span_capacity_ = size_t{1} << 18;
   std::atomic<uint64_t> dropped_spans_{0};
+  /// Prometheus mirror of dropped_spans_, bound lazily on the first span
+  /// (GetCounter takes mu_, which must never be acquired under span_mu_).
+  std::atomic<Counter*> dropped_spans_counter_{nullptr};
 };
 
 }  // namespace wavebatch::telemetry

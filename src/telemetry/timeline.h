@@ -1,0 +1,77 @@
+#ifndef WAVEBATCH_TELEMETRY_TIMELINE_H_
+#define WAVEBATCH_TELEMETRY_TIMELINE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wavebatch::telemetry {
+
+/// One sample of a progressive session's accuracy/cost state — the raw
+/// material of the paper's error-vs-I/O curves: how tight the Theorem-1
+/// bound is after how many retrievals. QueryService samples one point per
+/// scheduler quantum plus a final point at completion.
+struct TimelinePoint {
+  uint64_t steps = 0;        // master-list entries consumed
+  uint64_t retrievals = 0;   // per-session I/O (the paper's cost axis)
+  double estimate = 0.0;     // running estimate of the batch's first query
+  double bound = 0.0;        // Theorem-1 worst-case penalty bound
+  double skipped_importance = 0.0;  // mass skipped under FaultPolicy::kSkip
+  double elapsed_us = 0.0;   // wall time since admission
+};
+
+/// A bounded convergence timeline with stride-doubling decimation: when the
+/// buffer fills, every other retained point is dropped and the sampling
+/// stride doubles, so an arbitrarily long run keeps a shape-preserving,
+/// roughly evenly spaced summary in O(capacity) memory — and the decimation
+/// is deterministic (a function of the offered-sample count alone, never of
+/// timing).
+class ConvergenceTimeline {
+ public:
+  explicit ConvergenceTimeline(size_t capacity = 256)
+      : capacity_(std::max<size_t>(4, capacity)) {}
+
+  /// Offers one periodic sample; retained iff the offered-sample index is a
+  /// multiple of the current stride.
+  void Sample(const TimelinePoint& point) {
+    const uint64_t index = offered_++;
+    if (index % stride_ != 0) return;
+    if (points_.size() >= capacity_) {
+      Decimate();
+      if (index % stride_ != 0) return;  // stride doubled under this sample
+    }
+    points_.push_back(point);
+  }
+
+  /// Appends unconditionally (the final state of a request matters no
+  /// matter where the stride landed).
+  void ForceSample(const TimelinePoint& point) {
+    if (points_.size() >= capacity_) Decimate();
+    points_.push_back(point);
+    ++offered_;
+  }
+
+  const std::vector<TimelinePoint>& points() const { return points_; }
+  std::vector<TimelinePoint> TakePoints() { return std::move(points_); }
+  uint64_t offered() const { return offered_; }
+  uint64_t stride() const { return stride_; }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  void Decimate() {
+    size_t w = 0;
+    for (size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    points_.resize(w);
+    stride_ *= 2;
+  }
+
+  size_t capacity_;
+  uint64_t stride_ = 1;
+  uint64_t offered_ = 0;
+  std::vector<TimelinePoint> points_;
+};
+
+}  // namespace wavebatch::telemetry
+
+#endif  // WAVEBATCH_TELEMETRY_TIMELINE_H_

@@ -60,10 +60,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   WB_CHECK(task != nullptr);
+  Task queued;
+  queued.fn = std::move(task);
+  if (telemetry::Enabled()) {
+    queued.ctx = telemetry::CurrentTraceContext();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     WB_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   QueueDepth().Add(1.0);
   cv_.notify_one();
@@ -71,7 +76,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -92,7 +97,15 @@ void ThreadPool::WorkerLoop() {
     // tasks that need their error observed return it through their own
     // channel (ParallelFor rethrows on the calling thread).
     try {
-      task();
+      if (task.ctx.active()) {
+        // Run under the submitter's trace identity so spans recorded by
+        // the task parent under the submitting thread's span — NOT under
+        // whatever was live on this worker before.
+        telemetry::ScopedTraceContext guard(task.ctx);
+        task.fn();
+      } else {
+        task.fn();
+      }
     } catch (...) {
       TaskExceptions().Add();
     }

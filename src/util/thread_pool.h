@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/trace.h"
+
 namespace wavebatch {
 
 /// A fixed-size worker pool with a FIFO task queue. Used for intra-batch
@@ -45,6 +47,13 @@ class ThreadPool {
   /// not kill its worker: the exception is counted
   /// (wavebatch_thread_pool_task_exceptions_total) and dropped, and the
   /// queue-depth/tasks accounting stays balanced either way.
+  ///
+  /// Tracing: while telemetry is enabled, the submitter's TraceContext
+  /// (trace/request ids + innermost live span) is captured with the task
+  /// and installed on the worker around its execution, so spans the task
+  /// records parent under the *submitting* thread's span instead of
+  /// whatever happened to be live on the worker. Disabled: one relaxed
+  /// load, no thread state touched.
   void Submit(std::function<void()> task);
 
   /// Runs fn(begin, end) over a partition of [0, n) into chunks of at most
@@ -79,11 +88,19 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// A queued task plus the trace identity of whoever submitted it (the
+  /// cross-thread parent link; zero-valued when telemetry was disabled at
+  /// submit time).
+  struct Task {
+    std::function<void()> fn;
+    telemetry::TraceContext ctx;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -15,7 +15,9 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -487,6 +489,260 @@ TEST(QueryServiceConcurrency, ServesUnderEpochChurn) {
 
   EXPECT_EQ(ok, admitted) << "every admitted request completes cleanly";
   EXPECT_GE(service.generation(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing: the propagation goldens. With tracing on, every
+// backend fetch span recorded while serving must carry the request
+// attribution of some admitted request — across every store shape the
+// serving stack composes (unsharded view, sharded scatter-gather whose
+// sub-batches hop worker pools, a versioned plane's pinned snapshot, and a
+// FileStore under cross-session sharing).
+
+/// Serves three traced requests over `store` and asserts the golden:
+/// responses carry minted ids + non-empty timelines, and every
+/// store_fetch_batch span attributes to one of the admitted requests.
+void ExpectFetchSpansAttributed(std::shared_ptr<const CoefficientStore> store,
+                                const ServingFixture& f, const char* label) {
+  SCOPED_TRACE(label);
+  telemetry::MetricsRegistry::Enable();
+  auto& registry = telemetry::MetricsRegistry::Default();
+  registry.ResetValues();
+
+  QueryServiceOptions options;
+  options.default_quantum = 16;
+  options.max_live_sessions = 8;
+  QueryService service(store, f.shared_strategy, options);
+
+  std::vector<QueryRequest> requests;
+  for (uint64_t t = 0; t < 3; ++t) {
+    QueryRequest request(f.MakeBatch(t));
+    request.penalty = f.sse;
+    requests.push_back(std::move(request));
+  }
+  std::vector<QueryResponse> responses = Serve(service, requests);
+
+  std::unordered_set<uint64_t> request_ids;
+  for (const QueryResponse& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_NE(r.request_id, 0u);
+    EXPECT_NE(r.trace_id, 0u);
+    EXPECT_FALSE(r.timeline.empty());
+    request_ids.insert(r.request_id);
+  }
+  EXPECT_EQ(request_ids.size(), requests.size()) << "ids must be distinct";
+
+  size_t fetch_spans = 0;
+  for (const telemetry::SpanEvent& span : registry.Spans()) {
+    if (std::string_view(span.name) != "store_fetch_batch") continue;
+    ++fetch_spans;
+    EXPECT_TRUE(request_ids.count(span.request_id) > 0)
+        << "backend fetch span not attributable to any admitted request "
+           "(request_id="
+        << span.request_id << ")";
+    EXPECT_NE(span.trace_id, 0u);
+  }
+  EXPECT_GT(fetch_spans, 0u);
+}
+
+TEST(QueryServiceTracing, FetchSpansAttributedUnsharded) {
+  ServingFixture f;
+  ExpectFetchSpansAttributed(f.BuildView(), f, "unsharded hash view");
+}
+
+TEST(QueryServiceTracing, FetchSpansAttributedShardedS4) {
+  ServingFixture f;
+  auto source = f.BuildView();
+  uint64_t max_key = 0;
+  source->ForEachNonZero(
+      [&](uint64_t key, double) { max_key = std::max(max_key, key); });
+  const KeyRouter router = KeyRouter::Uniform(max_key + 1, 4);
+  std::vector<std::unique_ptr<CoefficientStore>> shards;
+  for (size_t s = 0; s < router.num_shards(); ++s) {
+    shards.push_back(std::make_unique<HashStore>());
+  }
+  source->ForEachNonZero([&](uint64_t key, double value) {
+    shards[router.ShardOf(key)]->Add(key, value);
+  });
+  auto sharded = std::make_shared<ShardedStore>(std::move(shards), router);
+  ExpectFetchSpansAttributed(sharded, f, "sharded S=4 plane");
+
+  // The scatter-gather legs crossed pool threads under the installed
+  // context: shard sub-batch spans attribute too, with their shard ids.
+  size_t subbatches = 0;
+  for (const telemetry::SpanEvent& span :
+       telemetry::MetricsRegistry::Default().Spans()) {
+    if (std::string_view(span.name) != "shard_subbatch") continue;
+    ++subbatches;
+    EXPECT_NE(span.request_id, 0u);
+    ASSERT_GE(span.num_attrs, 1u);
+    EXPECT_EQ(std::string_view(span.attrs[0].key), "shard");
+  }
+  EXPECT_GT(subbatches, 0u);
+}
+
+TEST(QueryServiceTracing, FetchSpansAttributedVersioned) {
+  ServingFixture f;
+  auto versioned = std::make_shared<VersionedStore>(
+      f.strategy.BuildStore(f.rel.FrequencyDistribution()));
+  Relation stream = MakeUniformRelation(f.schema, 40, 91);
+  for (const Tuple& t : stream.tuples()) {
+    versioned->Ingest(f.strategy.TransformUpdate(t, 1.0).value());
+  }
+  ASSERT_EQ(versioned->Publish(), 1u);
+  ExpectFetchSpansAttributed(versioned, f, "versioned plane at epoch 1");
+}
+
+TEST(QueryServiceTracing, FetchSpansAttributedFileStoreSharing) {
+  ServingFixture f;
+  auto view = f.BuildView();
+  std::vector<double> values(16 * 16, 0.0);
+  view->ForEachNonZero(
+      [&](uint64_t key, double value) { values[key] = value; });
+  const std::string path =
+      ::testing::TempDir() + "/wavebatch_tracing_store.bin";
+  auto file_store = FileStore::Create(path, values);
+  ASSERT_TRUE(file_store.ok()) << file_store.status();
+  ExpectFetchSpansAttributed(std::move(file_store).value(), f,
+                             "file store under cross-session sharing");
+}
+
+TEST(QueryServiceTracing, ConvergenceTimelineIsMonotoneAndFinal) {
+  ServingFixture f;
+  telemetry::MetricsRegistry::Enable();
+  telemetry::MetricsRegistry::Default().ResetValues();
+
+  QueryServiceOptions options;
+  options.default_quantum = 8;  // many quanta -> many timeline points
+  QueryService service(f.BuildView(), f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(2));
+  request.penalty = f.sse;
+  std::vector<QueryResponse> responses = Serve(service, {request});
+  const QueryResponse& r = responses[0];
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_GE(r.timeline.size(), 2u);
+
+  for (size_t i = 1; i < r.timeline.size(); ++i) {
+    EXPECT_GE(r.timeline[i].steps, r.timeline[i - 1].steps);
+    EXPECT_GE(r.timeline[i].retrievals, r.timeline[i - 1].retrievals);
+    EXPECT_GE(r.timeline[i].elapsed_us, r.timeline[i - 1].elapsed_us);
+    // Importance-ordered progression: the Theorem-1 bound only tightens.
+    EXPECT_LE(r.timeline[i].bound, r.timeline[i - 1].bound + 1e-9);
+  }
+  // The forced completion point is the answer actually returned.
+  const telemetry::TimelinePoint& last = r.timeline.back();
+  EXPECT_EQ(last.steps, r.steps_taken);
+  EXPECT_EQ(last.retrievals, r.io.retrievals);
+  EXPECT_DOUBLE_EQ(last.bound, r.worst_case_bound);
+
+  // The completed request's record is retained for /tracez.
+  std::vector<QueryService::TimelineRecord> recent =
+      service.RecentTimelines();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].request_id, r.request_id);
+  EXPECT_EQ(recent[0].trace_id, r.trace_id);
+  EXPECT_TRUE(recent[0].ok);
+  EXPECT_EQ(recent[0].points.size(), r.timeline.size());
+}
+
+TEST(QueryServiceTracing, DisabledTelemetryMintsNoIdsAndNoTimeline) {
+  ServingFixture f;
+  telemetry::MetricsRegistry::Disable();
+  QueryServiceOptions options;
+  options.default_quantum = 16;
+  QueryService service(f.BuildView(), f.shared_strategy, options);
+
+  QueryRequest request(f.MakeBatch(1));
+  request.penalty = f.sse;
+  std::vector<QueryResponse> responses = Serve(service, {request});
+  telemetry::MetricsRegistry::Enable();
+
+  ASSERT_TRUE(responses[0].status.ok()) << responses[0].status;
+  EXPECT_EQ(responses[0].request_id, 0u);
+  EXPECT_EQ(responses[0].trace_id, 0u);
+  EXPECT_TRUE(responses[0].timeline.empty());
+  EXPECT_TRUE(service.RecentTimelines().empty());
+}
+
+/// TSan stress: the epoch-churn serving test with tracing active — workers
+/// installing trace contexts, sibling attribution markers, timeline
+/// sampling, and /statusz-style introspection reads, all racing a writer
+/// publishing epochs.
+TEST(QueryServiceConcurrency, TracedServingUnderEpochChurn) {
+  ServingFixture f;
+  telemetry::MetricsRegistry::Enable();
+  telemetry::MetricsRegistry::Default().ResetValues();
+
+  QueryService* service_ptr = nullptr;
+  VersionedStoreOptions store_options;
+  store_options.on_publish = [&service_ptr](uint64_t) {
+    if (service_ptr != nullptr) service_ptr->RefreshEpoch();
+  };
+  auto versioned = std::make_shared<VersionedStore>(
+      f.strategy.BuildStore(f.rel.FrequencyDistribution()), store_options);
+
+  QueryServiceOptions options;
+  options.default_quantum = 8;
+  options.max_live_sessions = 8;
+  QueryService service(versioned, f.shared_strategy, options);
+  service_ptr = &service;
+  service.Start(2);
+
+  constexpr int kRequests = 12;
+  std::mutex mu;
+  std::condition_variable cv;
+  int completed = 0;
+  int with_ids = 0;
+  auto on_done = [&](QueryResponse r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++completed;
+    if (r.status.ok() && r.request_id != 0 && !r.timeline.empty()) ++with_ids;
+    cv.notify_all();
+  };
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    Relation stream = MakeUniformRelation(f.schema, 200, 5);
+    size_t i = 0;
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      versioned->Ingest(
+          f.strategy.TransformUpdate(stream.tuples()[i % 200], 1.0).value());
+      if (i % 4 == 3) versioned->Publish();
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+  // Introspection under load: snapshot accessors race the serving threads.
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      (void)service.GroupStatuses();
+      (void)service.RecentTimelines();
+      (void)service.epoch();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < kRequests; ++i) {
+    QueryRequest request(f.MakeBatch(static_cast<uint64_t>(i)));
+    request.penalty = f.sse;
+    while (!service.Submit(request, on_done).ok()) {
+      std::this_thread::yield();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == kRequests; });
+  }
+  stop_writer.store(true);
+  writer.join();
+  stop_reader.store(true);
+  reader.join();
+  service.Stop();
+
+  EXPECT_EQ(with_ids, kRequests)
+      << "every traced request completes with ids and a timeline";
 }
 
 TEST(SharedFetchStoreTest, ChargesFullCostWhileHittingCache) {

@@ -26,6 +26,7 @@
 #include "strategy/wavelet_strategy.h"
 #include "telemetry/export.h"
 #include "telemetry/span.h"
+#include "telemetry/timeline.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -255,6 +256,84 @@ TEST_F(TelemetryTest, SpanBufferIsBoundedAndCountsDrops) {
   EXPECT_EQ(registry.dropped_spans(), 6u);
   registry.SetSpanCapacity(size_t{1} << 18);
   registry.ResetValues();
+}
+
+TEST_F(TelemetryTest, DroppedSpansExportAsPrometheusCounter) {
+  auto& registry = MetricsRegistry::Default();
+  registry.SetSpanCapacity(2);
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    registry.RecordSpan("tm_test_drop_export", now, now);
+  }
+  EXPECT_EQ(registry.dropped_spans(), 3u);
+  // The drop count is a first-class Prometheus series, not just an
+  // accessor — a scraper can alert on span loss without process access.
+  const std::string text = telemetry::ExportPrometheus(registry);
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidatePrometheus(text, &error)) << error;
+  EXPECT_NE(text.find("wavebatch_telemetry_dropped_spans_total 3"),
+            std::string::npos);
+  registry.SetSpanCapacity(size_t{1} << 18);
+  registry.ResetValues();
+}
+
+TEST_F(TelemetryTest, SpanAttrsAreRecordedAndCapped) {
+  auto& registry = MetricsRegistry::Default();
+  const size_t before = registry.Spans().size();
+  {
+    telemetry::ScopedSpan span("tm_test_attr_span");
+    span.AddAttr("keys", 7);
+    span.AddAttr("shard", 2);
+    span.AddAttr("epoch", 3);
+    span.AddAttr("bound", 0.5);
+    span.AddAttr("overflowing", 99);  // beyond kMaxAttrs: dropped
+  }
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  ASSERT_EQ(spans.size(), before + 1);
+  const telemetry::SpanEvent& span = spans.back();
+  ASSERT_EQ(span.num_attrs, telemetry::SpanEvent::kMaxAttrs);
+  EXPECT_EQ(std::string_view(span.attrs[0].key), "keys");
+  EXPECT_DOUBLE_EQ(span.attrs[0].value, 7.0);
+  EXPECT_EQ(std::string_view(span.attrs[3].key), "bound");
+  EXPECT_DOUBLE_EQ(span.attrs[3].value, 0.5);
+
+  // Attrs surface in the Chrome export's args alongside the ids.
+  const std::string json = telemetry::ExportChromeTrace(registry);
+  EXPECT_NE(json.find("\"keys\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":2"), std::string::npos);
+  EXPECT_EQ(json.find("overflowing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence timelines.
+
+TEST_F(TelemetryTest, ConvergenceTimelineDecimatesDeterministically) {
+  telemetry::ConvergenceTimeline timeline(4);
+  for (uint64_t i = 0; i < 20; ++i) {
+    telemetry::TimelinePoint point;
+    point.steps = i;
+    timeline.Sample(point);
+  }
+  // Stride-doubling over 20 offered samples at capacity 4: the survivors
+  // are the multiples of the final stride — a function of the offered count
+  // alone, never of timing.
+  EXPECT_EQ(timeline.offered(), 20u);
+  EXPECT_EQ(timeline.stride(), 8u);
+  ASSERT_EQ(timeline.points().size(), 3u);
+  EXPECT_EQ(timeline.points()[0].steps, 0u);
+  EXPECT_EQ(timeline.points()[1].steps, 8u);
+  EXPECT_EQ(timeline.points()[2].steps, 16u);
+
+  // The completion point lands regardless of where the stride is.
+  telemetry::TimelinePoint final_point;
+  final_point.steps = 99;
+  timeline.ForceSample(final_point);
+  EXPECT_EQ(timeline.points().back().steps, 99u);
+
+  // TakePoints drains the buffer for the completed-request record.
+  const std::vector<telemetry::TimelinePoint> taken = timeline.TakePoints();
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_TRUE(timeline.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,10 @@
 #include "core/trace.h"
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
+#include <string_view>
+#include <thread>
 
 #include "core/exact.h"
 #include "data/generators.h"
@@ -10,6 +14,11 @@
 #include "penalty/sse.h"
 #include "storage/fault_injection_store.h"
 #include "strategy/wavelet_strategy.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace.h"
+#include "util/thread_pool.h"
 
 namespace wavebatch {
 namespace {
@@ -172,6 +181,165 @@ TEST(TraceTest, SkippedImportanceColumnForDegradedSessions) {
   std::ostringstream clean_os;
   clean_trace.ToTable().PrintCsv(clean_os);
   EXPECT_EQ(clean_os.str().find("skipped_importance"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped telemetry tracing: cross-thread parent links through the
+// ThreadPool hand-off, TraceContext propagation, and the Chrome exporter's
+// flow events. These are the regression tests for worker spans that used to
+// parent under whatever happened to be live on the worker thread instead of
+// the submitting thread's span.
+
+/// Finds the single span with `name` in the buffer snapshot; fails the test
+/// if it is absent or duplicated.
+const telemetry::SpanEvent* FindSpan(
+    const std::vector<telemetry::SpanEvent>& spans, std::string_view name) {
+  const telemetry::SpanEvent* found = nullptr;
+  for (const telemetry::SpanEvent& span : spans) {
+    if (std::string_view(span.name) != name) continue;
+    EXPECT_EQ(found, nullptr) << "duplicate span " << name;
+    found = &span;
+  }
+  EXPECT_NE(found, nullptr) << "missing span " << name;
+  return found;
+}
+
+/// Spins until `done` flips (the pool's Submit is fire-and-forget).
+void AwaitFlag(const std::atomic<bool>& done) {
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(TelemetryHandoffTest, PoolTaskParentsUnderSubmittingSpan) {
+  telemetry::MetricsRegistry::Enable();
+  auto& registry = telemetry::MetricsRegistry::Default();
+  registry.ResetValues();
+
+  std::atomic<bool> done{false};
+  {
+    ThreadPool pool(1);
+    {
+      telemetry::ScopedSpan parent("tt_handoff_parent");
+      pool.Submit([&done] {
+        telemetry::ScopedSpan child("tt_handoff_child");
+        done.store(true, std::memory_order_release);
+      });
+    }
+    AwaitFlag(done);
+  }
+
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  const telemetry::SpanEvent* parent = FindSpan(spans, "tt_handoff_parent");
+  const telemetry::SpanEvent* child = FindSpan(spans, "tt_handoff_child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  // The regression: the worker span must link to the *submitting* thread's
+  // span, across threads, even though no span was live on the worker.
+  EXPECT_NE(parent->span_id, 0u);
+  EXPECT_EQ(child->parent_span_id, parent->span_id);
+  EXPECT_NE(child->tid, parent->tid);
+}
+
+TEST(TelemetryHandoffTest, WorkerDoesNotLeakContextIntoLaterTasks) {
+  telemetry::MetricsRegistry::Enable();
+  auto& registry = telemetry::MetricsRegistry::Default();
+  registry.ResetValues();
+
+  std::atomic<bool> first_done{false};
+  std::atomic<bool> second_done{false};
+  {
+    ThreadPool pool(1);
+    {
+      telemetry::ScopedSpan parent("tt_leak_parent");
+      pool.Submit([&first_done] {
+        telemetry::ScopedSpan child("tt_leak_first");
+        first_done.store(true, std::memory_order_release);
+      });
+    }
+    AwaitFlag(first_done);
+    // Submitted with no live span and no installed context: the worker's
+    // state from the first task must not bleed into this one.
+    pool.Submit([&second_done] {
+      telemetry::ScopedSpan child("tt_leak_second");
+      second_done.store(true, std::memory_order_release);
+    });
+    AwaitFlag(second_done);
+  }
+
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  const telemetry::SpanEvent* second = FindSpan(spans, "tt_leak_second");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->parent_span_id, 0u);
+  EXPECT_EQ(second->trace_id, 0u);
+  EXPECT_EQ(second->request_id, 0u);
+}
+
+TEST(TelemetryHandoffTest, TraceIdsPropagateAcrossThePool) {
+  telemetry::MetricsRegistry::Enable();
+  auto& registry = telemetry::MetricsRegistry::Default();
+  registry.ResetValues();
+
+  telemetry::TraceContext ctx;
+  ctx.trace_id = telemetry::NewTraceId();
+  ctx.request_id = ctx.trace_id;
+
+  std::atomic<bool> done{false};
+  {
+    ThreadPool pool(1);
+    telemetry::ScopedTraceContext guard(ctx);
+    telemetry::ScopedSpan parent("tt_prop_parent");
+    pool.Submit([&done] {
+      telemetry::ScopedSpan child("tt_prop_child");
+      done.store(true, std::memory_order_release);
+    });
+    AwaitFlag(done);
+  }
+  // The guard restored this thread's state on destruction.
+  EXPECT_EQ(telemetry::CurrentTraceContext().trace_id, 0u);
+
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  for (const char* name : {"tt_prop_parent", "tt_prop_child"}) {
+    const telemetry::SpanEvent* span = FindSpan(spans, name);
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->trace_id, ctx.trace_id) << name;
+    EXPECT_EQ(span->request_id, ctx.request_id) << name;
+  }
+}
+
+TEST(TelemetryHandoffTest, ChromeExportEmitsFlowEventsForCrossThreadLinks) {
+  telemetry::MetricsRegistry::Enable();
+  auto& registry = telemetry::MetricsRegistry::Default();
+  registry.ResetValues();
+
+  std::atomic<bool> done{false};
+  {
+    ThreadPool pool(1);
+    {
+      telemetry::ScopedSpan parent("tt_flow_parent");
+      pool.Submit([&done] {
+        telemetry::ScopedSpan child("tt_flow_child");
+        done.store(true, std::memory_order_release);
+      });
+    }
+    AwaitFlag(done);
+  }
+
+  const std::string json = telemetry::ExportChromeTrace(registry);
+  // The cross-thread parent link renders as a flow pair: an "s" on the
+  // parent's thread and a binding-point "f" on the child's, sharing the
+  // child's span id. Same-thread nesting (every other span here) must not
+  // produce flow events.
+  EXPECT_NE(json.find("\"name\":\"handoff\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+
+  const std::vector<telemetry::SpanEvent> spans = registry.Spans();
+  const telemetry::SpanEvent* child = FindSpan(spans, "tt_flow_child");
+  ASSERT_NE(child, nullptr);
+  const std::string flow_id = "\"id\":" + std::to_string(child->span_id);
+  EXPECT_NE(json.find(flow_id), std::string::npos);
 }
 
 }  // namespace
