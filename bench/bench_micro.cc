@@ -34,6 +34,7 @@
 #include "strategy/wavelet_strategy.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
+#include "util/cpu_features.h"
 #include "util/random.h"
 #include "wavelet/dwt1d.h"
 #include "wavelet/lazy_query_transform.h"
@@ -252,8 +253,13 @@ void BM_EngineSessionStepBatch(benchmark::State& state) {
   // enabled vs disabled. The telemetry subsystem's acceptance bar is <2%
   // regression on this benchmark with the registry enabled (counters +
   // one latency histogram + one span per batch, amortized over n steps).
+  // The simd axis pins the whole execution tier process-wide: 0 forces
+  // scalar everywhere (apply kernel AND the dense-store batch gather), 1
+  // restores best-tier detection. The two produce bit-identical estimates,
+  // so the ratio is the pure vectorization speedup of the step path.
   const size_t batch = static_cast<size_t>(state.range(0));
   const bool enabled = state.range(1) != 0;
+  const bool simd = state.range(2) != 0;
   TemperatureDatasetOptions options;
   options.lat_size = 32;
   options.lon_size = 32;
@@ -275,21 +281,26 @@ void BM_EngineSessionStepBatch(benchmark::State& state) {
   } else {
     telemetry::MetricsRegistry::Disable();
   }
-  EvalSession session(plan, store);
+  SetKernelTierOverride(simd ? std::optional<KernelTier>()
+                             : KernelTier::kScalar);
+  EvalSession::Options opts;
+  EvalSession session(plan, store, opts);
   for (auto _ : state) {
     if (session.Done()) {
       state.PauseTiming();
-      session = EvalSession(plan, store);
+      session = EvalSession(plan, store, opts);
       state.ResumeTiming();
     }
     benchmark::DoNotOptimize(session.StepBatch(batch).value());
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(KernelTierName(session.kernel_tier()));
+  SetKernelTierOverride(std::nullopt);
   telemetry::MetricsRegistry::Enable();
 }
 BENCHMARK(BM_EngineSessionStepBatch)
-    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
-    ->ArgNames({"batch", "telemetry"})
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}, {0, 1}})
+    ->ArgNames({"batch", "telemetry", "simd"})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_PlanBuild(benchmark::State& state) {
@@ -514,17 +525,9 @@ BENCHMARK(BM_BlockStoreFetch)
     ->ArgNames({"batch", "batched"})
     ->Unit(benchmark::kMicrosecond);
 
-// ---------------------------------------------------------------------------
-// Sharded scatter-gather over FileStore-backed shards under a Zipf key
-// workload. Each shard is a FileStore with a simulated per-seek device
-// latency (one independent "disk" per shard) and its own single-thread
-// pool, so the S>1 payoff is overlapped seek latency across devices — the
-// effect sharding buys on real hardware — rather than extra CPU cores.
-// Zipf ranks are scrambled with a Knuth-style multiplier so the popular
-// head spreads across the range-partitioned shards instead of piling onto
-// shard 0. Batch size stays below the FileStore parallel-fetch threshold
-// so the unsharded baseline is not quietly parallelized from inside.
-
+// Zipf(s=1.1) ranks scrambled with a Knuth-style multiplier so the popular
+// head spreads across the key range instead of piling onto one corner.
+// Shared by the compressed-page and sharded scatter-gather benchmarks.
 std::vector<uint64_t> MakeZipfKeys(size_t batch_size) {
   Rng rng(53);
   std::vector<uint64_t> keys(batch_size);
@@ -534,6 +537,55 @@ std::vector<uint64_t> MakeZipfKeys(size_t batch_size) {
   }
   return keys;
 }
+
+void BM_BlockStoreFetchZipf(benchmark::State& state) {
+  // Backend bytes per fetch under a skewed (Zipf) key workload — the
+  // compressed-page payoff. mode 0: plain blocks (a read transfers the
+  // full-width block, block_size × 8 bytes); mode 1: lossless compressed
+  // pages (delta+bit-packed keys, raw IEEE values); mode 2: 16-bit
+  // quantized pages (lossy — PeekErrorBound/Lossy report the decode error
+  // the engine folds into its bounds). block_reads is identical across
+  // modes (the block model does not change); bytes_fetched is what shrinks,
+  // and bench_compare gates it.
+  const int64_t mode = state.range(0);
+  Rng rng(43);
+  auto dense = std::make_unique<DenseStore>(kFetchBenchCapacity);
+  for (uint64_t k = 0; k < kFetchBenchCapacity; ++k) {
+    dense->Add(k, rng.Gaussian());
+  }
+  BlockStoreOptions options;
+  options.block_size = 64;
+  options.cache_blocks = 32;
+  options.compress_pages = mode != 0;
+  options.page.quantize = mode == 2;
+  options.page.quant_bits = 16;
+  BlockStore store(std::move(dense), options);
+  const std::vector<uint64_t> keys = MakeZipfKeys(256);
+  std::vector<double> out(keys.size());
+  IoStats io;
+  for (auto _ : state) {
+    WB_CHECK_OK(store.FetchBatch(keys, out, &io));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+  state.counters["block_reads"] = static_cast<double>(io.block_reads);
+  state.counters["bytes_fetched"] = static_cast<double>(io.bytes_fetched);
+}
+BENCHMARK(BM_BlockStoreFetchZipf)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"mode"})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Sharded scatter-gather over FileStore-backed shards under a Zipf key
+// workload. Each shard is a FileStore with a simulated per-seek device
+// latency (one independent "disk" per shard) and its own single-thread
+// pool, so the S>1 payoff is overlapped seek latency across devices — the
+// effect sharding buys on real hardware — rather than extra CPU cores.
+// Zipf ranks are scrambled (see MakeZipfKeys above) so the popular head
+// spreads across the range-partitioned shards instead of piling onto
+// shard 0. Batch size stays below the FileStore parallel-fetch threshold
+// so the unsharded baseline is not quietly parallelized from inside.
 
 void BM_ShardedFetchBatch(benchmark::State& state) {
   const size_t num_shards = static_cast<size_t>(state.range(0));
@@ -712,6 +764,15 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("wavebatch_build_type", "debug");
 #endif
+  // Stamp the kernel tier this process will dispatch to and the CPU
+  // features behind that choice: timings taken on different tiers are not
+  // comparable, and bench_compare refuses to gate *time* across a tier
+  // mismatch (machine-independent counters still gate).
+  benchmark::AddCustomContext(
+      "wavebatch_kernel_tier",
+      wavebatch::KernelTierName(wavebatch::BestKernelTier()));
+  benchmark::AddCustomContext("wavebatch_cpu_features",
+                              wavebatch::CpuFeatureString());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!metrics_out.empty()) {

@@ -6,14 +6,9 @@
 #include <cstdint>
 
 #include "core/master_list.h"
+#include "util/prefetch.h"
 
 namespace wavebatch {
-
-#if defined(__GNUC__) || defined(__clang__)
-#define WAVEBATCH_PREFETCH(addr) __builtin_prefetch(addr)
-#else
-#define WAVEBATCH_PREFETCH(addr) ((void)0)
-#endif
 
 /// The engine's fused gather-apply kernel over the master list's flat CSR
 /// image (MasterList::keys/uses_offsets/uses_query/uses_coeff). A kernel is
@@ -75,7 +70,7 @@ struct ApplyKernel {
   void GatherKeys(const size_t* order, size_t n, uint64_t* out) const {
     constexpr size_t kAhead = 16;
     for (size_t i = 0; i < n; ++i) {
-      if (i + kAhead < n) WAVEBATCH_PREFETCH(&keys[order[i + kAhead]]);
+      if (i + kAhead < n) WB_PREFETCH(&keys[order[i + kAhead]]);
       out[i] = keys[order[i]];
     }
   }
@@ -89,7 +84,7 @@ struct ApplyKernel {
                     const uint32_t* shard_of_entry, uint32_t* out) const {
     constexpr size_t kAhead = 16;
     for (size_t i = 0; i < n; ++i) {
-      if (i + kAhead < n) WAVEBATCH_PREFETCH(&shard_of_entry[order[i + kAhead]]);
+      if (i + kAhead < n) WB_PREFETCH(&shard_of_entry[order[i + kAhead]]);
       out[i] = shard_of_entry[order[i]];
     }
   }
@@ -105,13 +100,13 @@ struct ApplyKernel {
                          double* estimates, double* remaining) const {
     if (n == 0) return;
     // Prime the pipeline: rows for entry 0 are needed immediately.
-    WAVEBATCH_PREFETCH(&offsets[order[0]]);
+    WB_PREFETCH(&offsets[order[0]]);
     for (size_t i = 0; i < n; ++i) {
-      if (i + 2 < n) WAVEBATCH_PREFETCH(&offsets[order[i + 2]]);
+      if (i + 2 < n) WB_PREFETCH(&offsets[order[i + 2]]);
       if (i + 1 < n) {
         const uint64_t next_lo = offsets[order[i + 1]];
-        WAVEBATCH_PREFETCH(&coeff[next_lo]);
-        WAVEBATCH_PREFETCH(&query[next_lo]);
+        WB_PREFETCH(&coeff[next_lo]);
+        WB_PREFETCH(&query[next_lo]);
       }
       const size_t entry = order[i];
       ConsumeImportance(entry, remaining);
@@ -119,8 +114,6 @@ struct ApplyKernel {
     }
   }
 };
-
-#undef WAVEBATCH_PREFETCH
 
 }  // namespace wavebatch
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/kernel_tiers.h"
 #include "storage/key_router.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -74,6 +75,22 @@ EvalSession::EvalSession(std::shared_ptr<const EvalPlan> plan,
     store_ = std::move(pinned);
   }
   kernel_ = plan_->kernel();
+  // Resolve the apply-kernel tier once: every batched apply this session
+  // runs uses it (all tiers are bit-identical; see engine/kernel_tiers.h).
+  if (options_.kernel_tier.has_value()) {
+    tier_ = *options_.kernel_tier;
+    WB_CHECK(KernelTierUsable(tier_))
+        << "requested kernel tier " << KernelTierName(tier_)
+        << " is not usable on this host/build";
+  } else {
+    tier_ = BestKernelTier();
+  }
+  // Lossy-store gate: checked on the PINNED store (the view this session
+  // actually reads). Exact stores keep the zero-overhead path.
+  lossy_ = store_->Lossy();
+  if (plan_->HasImportance()) {
+    inv_alpha_ = 1.0 / plan_->penalty()->HomogeneityDegree();
+  }
   if (const KeyRouter* router = store_->router();
       router != nullptr && router->num_shards() > 1) {
     entry_shards_.resize(plan_->size());
@@ -183,6 +200,22 @@ void EvalSession::SkipEntry(size_t entry_idx) {
   }
 }
 
+void EvalSession::AccumulateQuantError(const size_t* order, size_t n) {
+  if (!lossy_ || !plan_->HasImportance()) return;
+  // Each retrieved coefficient may be off by up to the store's per-key
+  // decode bound ε_ξ; in the penalty's α-norm geometry that adds
+  // ε_ξ · ι_p(ξ)^(1/α) to the error mass (see WorstCaseBound). Skipped
+  // entries are excluded — their widening goes through skipped_importance_.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t entry_idx = order[i];
+    const double err = store_->PeekErrorBound(kernel_.keys[entry_idx]);
+    if (err > 0.0) {
+      quant_error_l1_ +=
+          err * std::pow(plan_->importance(entry_idx), inv_alpha_);
+    }
+  }
+}
+
 Result<size_t> EvalSession::Step() {
   WB_CHECK(!options_.block_of) << "Step() on a block-granularity session";
   WB_CHECK(!Done()) << "Step() after completion";
@@ -201,6 +234,7 @@ Result<size_t> EvalSession::Step() {
   ++steps_taken_;
   ConsumeImportance(entry_idx);
   ApplyEntry(entry_idx, *data);
+  AccumulateQuantError(&entry_idx, 1);
   UpdateTelemetry();
   return entry_idx;
 }
@@ -249,15 +283,18 @@ Result<size_t> EvalSession::StepBatch(size_t n) {
       }
       ConsumeImportance(entry_idx);
       ApplyEntry(entry_idx, *value);
+      AccumulateQuantError(&entry_idx, 1);
     }
     UpdateTelemetry();
     return n;
   }
   steps_taken_ += n;
   // Fused apply in consumption order: the identical floating-point
-  // accumulation sequence a scalar Step() loop would produce.
-  kernel_.ApplyOrderedSlice(order, n, batch_values_.data(), estimates_.data(),
-                            &remaining_importance_);
+  // accumulation sequence a scalar Step() loop would produce, on whichever
+  // execution tier the session resolved (bit-identical across tiers).
+  ApplyOrderedSliceTiered(kernel_, tier_, order, n, batch_values_.data(),
+                          estimates_.data(), &remaining_importance_);
+  AccumulateQuantError(order, n);
   UpdateTelemetry();
   return n;
 }
@@ -302,6 +339,7 @@ Result<size_t> EvalSession::StepBlock() {
       ++coefficients_fetched_;
       ConsumeImportance(entry_idx);
       ApplyEntry(entry_idx, *value);
+      AccumulateQuantError(&entry_idx, 1);
     }
     UpdateTelemetry();
     return count;
@@ -309,8 +347,10 @@ Result<size_t> EvalSession::StepBlock() {
   ++blocks_fetched_;
   coefficients_fetched_ += count;
   steps_taken_ += count;
-  kernel_.ApplyOrderedSlice(block.entries.data(), count, batch_values_.data(),
-                            estimates_.data(), &remaining_importance_);
+  ApplyOrderedSliceTiered(kernel_, tier_, block.entries.data(), count,
+                          batch_values_.data(), estimates_.data(),
+                          &remaining_importance_);
+  AccumulateQuantError(block.entries.data(), count);
   UpdateTelemetry();
   return count;
 }
@@ -339,9 +379,18 @@ double EvalSession::WorstCaseBound(double k_sum_abs) const {
   // Degraded runs widen the bound by the skipped mass: a coefficient we
   // could not read is bounded by K in magnitude exactly like one we have
   // not read yet, but it never leaves the unknown set.
-  const double bound =
-      std::pow(k_sum_abs, plan_->penalty()->HomogeneityDegree()) *
-      (NextImportance() + skipped_importance_);
+  const double alpha = plan_->penalty()->HomogeneityDegree();
+  double bound =
+      std::pow(k_sum_abs, alpha) * (NextImportance() + skipped_importance_);
+  if (quant_error_l1_ > 0.0) {
+    // Lossy reads: the already-applied coefficients carry decode error too.
+    // Combine in the penalty's α-norm geometry — the 1/α-th roots of the
+    // per-source worst cases add (triangle inequality), then raise back:
+    //   bound = (tail^(1/α) + Σ ε_ξ·ι_p(ξ)^(1/α))^α.
+    // For α = 1 this is exactly tail + Σ ε·ι. Guarded so exact stores
+    // return the untouched legacy expression bit for bit.
+    bound = std::pow(std::pow(bound, inv_alpha_) + quant_error_l1_, alpha);
+  }
   if (telemetry_ != nullptr && telemetry::Enabled()) {
     telemetry_->worst_case_bound->Set(bound);
   }

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "engine/apply_kernel.h"
 #include "engine/eval_plan.h"
 #include "storage/coefficient_store.h"
+#include "util/cpu_features.h"
 #include "util/status.h"
 
 namespace wavebatch {
@@ -66,6 +68,12 @@ struct EvalSessionOptions {
   size_t run_chunk = 4096;
   /// Fetch-failure handling; see FaultPolicy.
   FaultPolicy fault_policy = FaultPolicy::kFail;
+  /// Execution tier for the batched apply kernel. Unset = the best tier the
+  /// build and CPU support (BestKernelTier()). An explicit tier must be
+  /// usable on this host (WB_CHECK at construction). Every tier produces
+  /// bit-identical estimates — this knob exists for tests and A/B
+  /// benchmarking, not correctness.
+  std::optional<KernelTier> kernel_tier;
 };
 
 class EvalSession {
@@ -162,6 +170,15 @@ class EvalSession {
   /// Σ ι_p over skipped coefficients (0 unless kSkip absorbed a fault).
   double SkippedImportance() const { return skipped_importance_; }
 
+  /// The apply-kernel tier this session runs (resolved at construction).
+  KernelTier kernel_tier() const { return tier_; }
+
+  /// Accumulated quantization-error mass Σ ε_ξ · ι_p(ξ)^(1/α) over the
+  /// coefficients retrieved so far from a lossy store (0 on exact stores).
+  /// This is the widening term WorstCaseBound() folds in; exposed for
+  /// tests and diagnostics.
+  double QuantizationErrorMass() const { return quant_error_l1_; }
+
   /// I/O charged by this session's fetches alone — per-session accounting;
   /// the shared store keeps no counters. Failed fetches charge nothing.
   const IoStats& io() const { return io_; }
@@ -185,6 +202,9 @@ class EvalSession {
   void ConsumeImportance(size_t entry_idx);
   /// Records entry_idx as consumed-without-data (degraded mode).
   void SkipEntry(size_t entry_idx);
+  /// Lossy stores only: folds the decode-error bounds of the just-applied
+  /// entries `order[0..n)` into quant_error_l1_ (see WorstCaseBound).
+  void AccumulateQuantError(const size_t* order, size_t n);
   /// Pushes the session's progress counters into its gauges (no-op when the
   /// session was created with telemetry disabled).
   void UpdateTelemetry();
@@ -231,6 +251,16 @@ class EvalSession {
   double remaining_importance_ = 0.0;
   uint64_t skipped_coefficients_ = 0;
   double skipped_importance_ = 0.0;
+
+  /// Resolved apply-kernel tier (see EvalSessionOptions::kernel_tier).
+  KernelTier tier_ = KernelTier::kScalar;
+  /// True when the (pinned) store's read path can return quantized values;
+  /// gates the per-key error lookups so exact stores pay nothing.
+  bool lossy_ = false;
+  /// 1/α for the penalty's homogeneity degree (0 when no importance).
+  double inv_alpha_ = 0.0;
+  /// Σ ε_ξ · ι_p(ξ)^(1/α) over retrieved coefficients (lossy stores only).
+  double quant_error_l1_ = 0.0;
   IoStats io_;
   std::unique_ptr<Telemetry> telemetry_;
 };

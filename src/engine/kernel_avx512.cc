@@ -1,0 +1,86 @@
+#include "engine/kernel_tiers.h"
+
+#if defined(WAVEBATCH_HAVE_AVX512_KERNELS)
+
+#include <immintrin.h>
+
+#include "util/prefetch.h"
+
+namespace wavebatch::kernels {
+namespace {
+
+/// One entry row, vectorized over contiguous query-index runs with 256-bit
+/// windows — the same strategy as the AVX2 tier (see kernel_avx2.cc for
+/// the run-detection argument and the bit-identity contract). Measured on
+/// AVX-512 hosts, 512-bit windows LOSE here: 8-long contiguous runs are
+/// much rarer than 4-long ones, the extra window compare taxes every
+/// iteration, and 512-bit µops cost frequency licensing — while the
+/// i32gather/scatter formulation this file originally used was slower than
+/// the plain scalar loop. The tier stays distinct so benchmarks stamp the
+/// host's real capability and a profitable 512-bit formulation can slot in
+/// behind the same dispatch without re-plumbing.
+inline void ApplyRowAvx512(const uint32_t* query, const double* coeff,
+                           uint64_t lo, uint64_t hi, double data,
+                           double* estimates) {
+  const __m256d vdata = _mm256_set1_pd(data);
+  uint64_t j = lo;
+  while (j + 4 <= hi) {
+    const uint32_t q0 = query[j];
+    if (query[j + 3] == q0 + 3) {
+      const __m256d c = _mm256_loadu_pd(coeff + j);
+      const __m256d est = _mm256_loadu_pd(estimates + q0);
+      _mm256_storeu_pd(estimates + q0,
+                       _mm256_add_pd(est, _mm256_mul_pd(c, vdata)));
+      j += 4;
+    } else {
+      const double product = coeff[j] * data;
+      estimates[q0] += product;
+      ++j;
+    }
+  }
+  for (; j < hi; ++j) {
+    const double product = coeff[j] * data;
+    estimates[query[j]] += product;
+  }
+}
+
+}  // namespace
+
+void ApplyOrderedSliceAvx512(const ApplyKernel& kernel, const size_t* order,
+                             size_t n, const double* values, double* estimates,
+                             double* remaining) {
+  if (n == 0) return;
+  WB_PREFETCH(&kernel.offsets[order[0]]);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 2 < n) WB_PREFETCH(&kernel.offsets[order[i + 2]]);
+    if (i + 1 < n) {
+      const uint64_t next_lo = kernel.offsets[order[i + 1]];
+      WB_PREFETCH(&kernel.coeff[next_lo]);
+      WB_PREFETCH(&kernel.query[next_lo]);
+    }
+    const size_t entry = order[i];
+    kernel.ConsumeImportance(entry, remaining);
+    const double data = values[i];
+    if (data == 0.0) continue;  // the legacy zero-data early-out
+    ApplyRowAvx512(kernel.query, kernel.coeff, kernel.offsets[entry],
+                   kernel.offsets[entry + 1], data, estimates);
+  }
+}
+
+}  // namespace wavebatch::kernels
+
+#else  // !WAVEBATCH_HAVE_AVX512_KERNELS
+
+namespace wavebatch::kernels {
+
+// Toolchain cannot target AVX-512: forward to the scalar kernel. Never
+// selected by dispatch (KernelTierCompiled(kAvx512) is false).
+void ApplyOrderedSliceAvx512(const ApplyKernel& kernel, const size_t* order,
+                             size_t n, const double* values, double* estimates,
+                             double* remaining) {
+  kernel.ApplyOrderedSlice(order, n, values, estimates, remaining);
+}
+
+}  // namespace wavebatch::kernels
+
+#endif  // WAVEBATCH_HAVE_AVX512_KERNELS

@@ -125,6 +125,12 @@ class SharedFetchStore : public CoefficientStore {
   }
   std::string name() const override { return "shared(" + inner_->name() + ")"; }
   const KeyRouter* router() const override { return inner_->router(); }
+  /// Cached values are exactly what the inner store decoded, so the inner
+  /// bound covers cache hits too.
+  double PeekErrorBound(uint64_t key) const override {
+    return inner_->PeekErrorBound(key);
+  }
+  bool Lossy() const override { return inner_->Lossy(); }
   std::shared_ptr<const CoefficientStore> PinVersion() const override;
 
   const SharedFetchCache& cache() const { return *cache_; }

@@ -42,6 +42,12 @@ struct IoStats {
   uint64_t block_reads = 0;
   /// Block-cache hits (BlockStore only).
   uint64_t block_hits = 0;
+  /// Backend bytes transferred by the simulated block reads (BlockStore
+  /// only; cache hits transfer nothing). A plain BlockStore charges the
+  /// full-width page (block_size × sizeof(double)) per read; in
+  /// compressed-page mode it charges the page's encoded size — the
+  /// quantity the codec exists to shrink, gated by tools/bench_compare.
+  uint64_t bytes_fetched = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -49,12 +55,13 @@ struct IoStats {
     retrievals += other.retrievals;
     block_reads += other.block_reads;
     block_hits += other.block_hits;
+    bytes_fetched += other.bytes_fetched;
     return *this;
   }
 
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.retrievals == b.retrievals && a.block_reads == b.block_reads &&
-           a.block_hits == b.block_hits;
+           a.block_hits == b.block_hits && a.bytes_fetched == b.bytes_fetched;
   }
 };
 
@@ -194,6 +201,24 @@ class CoefficientStore {
   /// immutable; only tier placement behind a shard may change). Decorators
   /// forward the inner store's router so hints survive wrapping.
   virtual const KeyRouter* router() const { return nullptr; }
+
+  /// Upper bound on |Peek(key) - exact coefficient at key| — nonzero only
+  /// for lossy read paths (a BlockStore in quantized compressed-page mode).
+  /// The engine charges this per retrieved coefficient into the Theorem-1
+  /// bound so progressive guarantees stay sound over quantized storage;
+  /// bounded.cc turns it into per-query error bounds for exact runs.
+  /// Uncounted, like Peek. Decorators forward to their inner store (a
+  /// sharded plane routes to the owning shard). The default — every exact
+  /// backend — is 0.
+  virtual double PeekErrorBound(uint64_t key) const {
+    (void)key;
+    return 0.0;
+  }
+
+  /// True when PeekErrorBound can be nonzero anywhere on this read path —
+  /// the cheap gate that lets sessions skip per-key error lookups entirely
+  /// on exact stores. Decorators forward; the default is false.
+  virtual bool Lossy() const { return false; }
 
   /// Epoch-snapshot seam: a store whose *published contents advance in
   /// epochs* (VersionedStore) returns an immutable snapshot of the current

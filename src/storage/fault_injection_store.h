@@ -92,6 +92,13 @@ class FaultInjectionStore : public CoefficientStore {
   /// exactly like a healthy one (faults hit the counted path, not routing).
   const KeyRouter* router() const override { return inner_->router(); }
 
+  /// Lossiness is the inner store's property; faults don't change decoded
+  /// values, only availability.
+  double PeekErrorBound(uint64_t key) const override {
+    return inner_->PeekErrorBound(key);
+  }
+  bool Lossy() const override { return inner_->Lossy(); }
+
   /// Pins the inner store's current epoch and returns a FaultInjectionStore
   /// over that snapshot, sharing this store's fault state (see class
   /// comment). Null when the inner store is its own snapshot — then this

@@ -104,6 +104,20 @@ class ShardedStore : public CoefficientStore {
   std::string name() const override;
   const KeyRouter* router() const override { return &router_; }
 
+  /// Routes to the owning shard. The bound also covers hot-tier hits: the
+  /// tier snapshots the owning shard's (possibly decoded) values, so the
+  /// shard's error bound still bounds what any read of `key` returns.
+  double PeekErrorBound(uint64_t key) const override {
+    return shards_[router_.ShardOf(key)]->PeekErrorBound(key);
+  }
+  /// True when ANY shard's read path can be lossy.
+  bool Lossy() const override {
+    for (const auto& shard : shards_) {
+      if (shard->Lossy()) return true;
+    }
+    return false;
+  }
+
   size_t num_shards() const { return shards_.size(); }
   const CoefficientStore& shard(size_t s) const { return *shards_[s]; }
   const ShardedStoreOptions& options() const { return options_; }

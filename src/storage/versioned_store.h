@@ -54,6 +54,13 @@ class SnapshotStore : public CoefficientStore {
   /// snapshot's lifetime even after the owning VersionedStore merges.
   const KeyRouter* router() const override { return base_->router(); }
 
+  /// The overlay's per-key deltas are exact, so the base's decode error is
+  /// the snapshot's decode error.
+  double PeekErrorBound(uint64_t key) const override {
+    return base_->PeekErrorBound(key);
+  }
+  bool Lossy() const override { return base_->Lossy(); }
+
   uint64_t epoch() const { return epoch_; }
   const CoefficientStore& base() const { return *base_; }
   /// Null when this epoch has no unmerged deltas.
@@ -206,6 +213,13 @@ class VersionedStore : public CoefficientStore {
   /// honor the router-stability promise. Pin a snapshot and use ITS router
   /// for stable hints.
   const KeyRouter* router() const override { return nullptr; }
+
+  /// Forwarded to the current published snapshot — same view counted reads
+  /// pin. Sessions that must see one epoch pin first and ask the snapshot.
+  double PeekErrorBound(uint64_t key) const override {
+    return snapshot_.Pin()->PeekErrorBound(key);
+  }
+  bool Lossy() const override { return snapshot_.Pin()->Lossy(); }
 
  protected:
   /// Counted reads pin the current published snapshot per call and

@@ -1,0 +1,73 @@
+#ifndef WAVEBATCH_UTIL_BITPACK_H_
+#define WAVEBATCH_UTIL_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wavebatch {
+
+/// Fixed-width bit packing over a little-endian u64 word array — the layout
+/// behind the compressed block pages (storage/compressed_block.h). Field i
+/// occupies bits [i*width, (i+1)*width) of the stream; fields may straddle a
+/// word boundary. Random access is O(1), which is what lets a compressed
+/// page binary-search its key offsets without decoding the whole run.
+///
+/// `width` is in [1, 64]. Appending and reading are branch-light and
+/// portable scalar code: the packed streams are cold relative to the apply
+/// kernels, so clarity wins over SIMD here.
+
+/// Number of u64 words needed for `count` fields of `width` bits.
+inline size_t BitPackWords(size_t count, uint32_t width) {
+  return (count * static_cast<size_t>(width) + 63) / 64;
+}
+
+/// Exact payload size in bytes (what a serialized stream would occupy; the
+/// in-memory words round up to 8-byte granularity).
+inline uint64_t BitPackBytes(size_t count, uint32_t width) {
+  return (count * static_cast<uint64_t>(width) + 7) / 8;
+}
+
+/// Minimal width able to represent `value` (1 for value 0 — a field always
+/// has at least one bit so counts stay recoverable from widths).
+inline uint32_t BitWidthFor(uint64_t value) {
+  uint32_t width = 1;
+  while (width < 64 && (value >> width) != 0) ++width;
+  return width;
+}
+
+/// Writes `value` (must fit in `width` bits) as field `index` of `words`.
+/// The words array must be BitPackWords(...) long and zero-initialized;
+/// each field is written at most once.
+inline void BitPackWrite(std::vector<uint64_t>& words, uint32_t width,
+                         size_t index, uint64_t value) {
+  WB_CHECK(width >= 1 && width <= 64);
+  WB_CHECK(width == 64 || (value >> width) == 0);
+  const size_t bit = index * static_cast<size_t>(width);
+  const size_t word = bit / 64;
+  const uint32_t shift = static_cast<uint32_t>(bit % 64);
+  words[word] |= value << shift;
+  if (shift + width > 64) {
+    words[word + 1] |= value >> (64 - shift);
+  }
+}
+
+/// Reads field `index` from a stream packed with BitPackWrite.
+inline uint64_t BitPackRead(const uint64_t* words, uint32_t width,
+                            size_t index) {
+  const size_t bit = index * static_cast<size_t>(width);
+  const size_t word = bit / 64;
+  const uint32_t shift = static_cast<uint32_t>(bit % 64);
+  uint64_t value = words[word] >> shift;
+  if (shift + width > 64) {
+    value |= words[word + 1] << (64 - shift);
+  }
+  if (width == 64) return value;
+  return value & ((uint64_t{1} << width) - 1);
+}
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_BITPACK_H_

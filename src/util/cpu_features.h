@@ -1,0 +1,65 @@
+#ifndef WAVEBATCH_UTIL_CPU_FEATURES_H_
+#define WAVEBATCH_UTIL_CPU_FEATURES_H_
+
+#include <optional>
+#include <string>
+
+namespace wavebatch {
+
+/// Execution tiers of the apply/gather kernels, ordered by preference. Every
+/// tier computes bit-identical results (the SIMD tiers vectorize the
+/// multiply and the value gather but preserve the scalar path's ordered,
+/// uncontracted accumulation), so tier selection is purely a speed choice —
+/// never a correctness or reproducibility one.
+enum class KernelTier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Lower-case tier name ("scalar" / "avx2" / "avx512") — stamped into bench
+/// report contexts and compared by tools/bench_compare.
+const char* KernelTierName(KernelTier tier);
+
+/// Runtime CPU capability (cached after the first query). False on non-x86
+/// targets and on compilers without __builtin_cpu_supports.
+bool CpuHasAvx2();
+bool CpuHasAvx512();
+
+/// True when the per-ISA kernel translation units for `tier` were compiled
+/// with real intrinsics (CMake's compile checks passed). kScalar is always
+/// compiled.
+bool KernelTierCompiled(KernelTier tier);
+
+/// True when SIMD tiers are disabled wholesale: either the tree was built
+/// with -DWAVEBATCH_FORCE_SCALAR (CMake option of the same name) or the
+/// WAVEBATCH_FORCE_SCALAR environment variable is set non-empty and not "0"
+/// — the runtime escape hatch for bisecting miscompiles on exotic hosts.
+bool ForceScalarRequested();
+
+/// A tier is usable when it is compiled in, the CPU supports it, and scalar
+/// is not being forced. kScalar is always usable.
+bool KernelTierUsable(KernelTier tier);
+
+/// The fastest usable tier — what dispatch picks when the caller does not
+/// request a specific tier. Honors the process-wide override below.
+KernelTier BestKernelTier();
+
+/// Pins BestKernelTier() to `tier` (nullopt restores detection). For the
+/// equivalence tests and benchmark A/B axes — every dispatch point in the
+/// process (session apply kernels AND store gather paths) follows it, so
+/// pinning kScalar measures/exercises the genuine all-scalar execution.
+/// The tier must be usable — the equivalence suite skips tiers the host
+/// cannot run instead of overriding to them. Not synchronized: set it only
+/// from single-threaded test/bench setup code.
+void SetKernelTierOverride(std::optional<KernelTier> tier);
+
+/// Human-readable summary of the SIMD features this process detected at
+/// runtime, e.g. "avx2+avx512f" or "baseline" — stamped into bench report
+/// contexts so regressions are never compared across differently-capable
+/// machines.
+std::string CpuFeatureString();
+
+}  // namespace wavebatch
+
+#endif  // WAVEBATCH_UTIL_CPU_FEATURES_H_

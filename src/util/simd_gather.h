@@ -1,0 +1,51 @@
+#ifndef WAVEBATCH_UTIL_SIMD_GATHER_H_
+#define WAVEBATCH_UTIL_SIMD_GATHER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace wavebatch::simd {
+
+/// Bounds-checked permuted gather: out[i] = values[keys[i]] for i in [0, n),
+/// where every key must satisfy key < capacity. Returns true when all keys
+/// were in range and `out` is fully written; returns false as soon as any
+/// chunk contains an out-of-range key, in which case `out` is unspecified
+/// and the caller re-runs its scalar loop to surface the exact first
+/// offending key (error identity with the scalar path matters more than
+/// speed on the failure path).
+///
+/// The gathered doubles are copied bit-for-bit — a hardware gather of lane
+/// values is exactly the scalar loads in a different order — so the SIMD
+/// gather is bit-identical to the scalar loop by construction.
+///
+/// Implemented in simd_gather_avx2.cc / simd_gather_avx512.cc; when the
+/// toolchain cannot compile the intrinsics the TU provides a scalar
+/// fallback with the same contract (it is then never selected by dispatch,
+/// but linking stays uniform).
+bool GatherDoublesAvx2(const double* values, uint64_t capacity,
+                       const uint64_t* keys, size_t n, double* out);
+bool GatherDoublesAvx512(const double* values, uint64_t capacity,
+                         const uint64_t* keys, size_t n, double* out);
+
+/// Dispatching wrapper. For KernelTier::kScalar it returns false without
+/// touching `out` — callers keep their existing scalar loop as the one true
+/// scalar implementation instead of duplicating it here.
+inline bool GatherDoubles(KernelTier tier, const double* values,
+                          uint64_t capacity, const uint64_t* keys, size_t n,
+                          double* out) {
+  switch (tier) {
+    case KernelTier::kAvx512:
+      return GatherDoublesAvx512(values, capacity, keys, n, out);
+    case KernelTier::kAvx2:
+      return GatherDoublesAvx2(values, capacity, keys, n, out);
+    case KernelTier::kScalar:
+      break;
+  }
+  return false;
+}
+
+}  // namespace wavebatch::simd
+
+#endif  // WAVEBATCH_UTIL_SIMD_GATHER_H_

@@ -1,0 +1,59 @@
+#include "util/simd_gather.h"
+
+#if defined(WAVEBATCH_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+namespace wavebatch::simd {
+
+bool GatherDoublesAvx2(const double* values, uint64_t capacity,
+                       const uint64_t* keys, size_t n, double* out) {
+  // Bounds check per 4-key chunk with signed 64-bit compares. Keys are
+  // unsigned, so a key with the sign bit set would compare as negative and
+  // sneak past `key <= capacity - 1`; the explicit key < 0 test catches it.
+  // Capacities are vector sizes (far below 2^63), so the signed view of
+  // capacity - 1 is exact.
+  const __m256i cap_minus_1 =
+      _mm256_set1_epi64x(static_cast<int64_t>(capacity) - 1);
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i too_big = _mm256_cmpgt_epi64(k, cap_minus_1);
+    const __m256i negative = _mm256_cmpgt_epi64(zero, k);
+    if (_mm256_movemask_epi8(_mm256_or_si256(too_big, negative)) != 0) {
+      return false;
+    }
+    const __m256d v = _mm256_i64gather_pd(values, k, 8);
+    _mm256_storeu_pd(out + i, v);
+  }
+  for (; i < n; ++i) {
+    if (keys[i] >= capacity) return false;
+    out[i] = values[keys[i]];
+  }
+  return true;
+}
+
+}  // namespace wavebatch::simd
+
+#else  // !WAVEBATCH_HAVE_AVX2_KERNELS
+
+namespace wavebatch::simd {
+
+// Toolchain without AVX2 support: scalar stand-in with the identical
+// contract. Dispatch never selects the kAvx2 tier on such a build
+// (KernelTierCompiled(kAvx2) is false), so this exists only to keep the
+// link uniform.
+bool GatherDoublesAvx2(const double* values, uint64_t capacity,
+                       const uint64_t* keys, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i] >= capacity) return false;
+    out[i] = values[keys[i]];
+  }
+  return true;
+}
+
+}  // namespace wavebatch::simd
+
+#endif  // WAVEBATCH_HAVE_AVX2_KERNELS

@@ -1,0 +1,47 @@
+#include "util/simd_gather.h"
+
+#if defined(WAVEBATCH_HAVE_AVX512_KERNELS)
+
+#include <immintrin.h>
+
+namespace wavebatch::simd {
+
+bool GatherDoublesAvx512(const double* values, uint64_t capacity,
+                         const uint64_t* keys, size_t n, double* out) {
+  // AVX-512 has unsigned 64-bit compares, so the bounds check is direct.
+  const __m512i cap = _mm512_set1_epi64(static_cast<int64_t>(capacity));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i k =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(keys + i));
+    if (_mm512_cmplt_epu64_mask(k, cap) != 0xFF) return false;
+    const __m512d v = _mm512_i64gather_pd(k, values, 8);
+    _mm512_storeu_pd(out + i, v);
+  }
+  for (; i < n; ++i) {
+    if (keys[i] >= capacity) return false;
+    out[i] = values[keys[i]];
+  }
+  return true;
+}
+
+}  // namespace wavebatch::simd
+
+#else  // !WAVEBATCH_HAVE_AVX512_KERNELS
+
+namespace wavebatch::simd {
+
+// Toolchain without AVX-512 support: scalar stand-in, never selected by
+// dispatch (KernelTierCompiled(kAvx512) is false). See the AVX2 twin.
+bool GatherDoublesAvx512(const double* values, uint64_t capacity,
+                         const uint64_t* keys, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i] >= capacity) return false;
+    out[i] = values[keys[i]];
+  }
+  return true;
+}
+
+}  // namespace wavebatch::simd
+
+#endif  // WAVEBATCH_HAVE_AVX512_KERNELS
